@@ -1,0 +1,163 @@
+// E6 (paper §2.2, "Logical Hops and Load Balancing").
+//
+// "A very high speed physical link, such as a 10 gigabit line, might be
+// statically divided into 10 1 gigabit channels with all 10 links being
+// treated as one logical link.  A packet arriving for this logical link
+// would be routed to whichever of the channels was free."
+//
+// Scenario: router R has ten parallel 1 Gb/s channels to the next router.
+// We sweep offered load and compare (a) a single static channel, (b) the
+// full logical link with free-channel selection, and (c) static hashing of
+// flows onto channels (the binding a source-routed packet would have
+// without logical ports).
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+
+namespace srp::bench {
+namespace {
+
+constexpr int kChannels = 10;
+constexpr std::size_t kPacketBytes = 1250;  // 10 us at 1 Gb/s
+
+struct LogicalResult {
+  double delivered_gbps = 0;
+  double mean_delay_us = 0;
+  double p99_delay_us = 0;
+  std::uint64_t drops = 0;
+};
+
+enum class Mode { kSingleChannel, kLogicalPort, kStaticHash };
+
+LogicalResult run_case(Mode mode, double offered_gbps, sim::Time duration) {
+  sim::Simulator sim;
+  dir::Fabric fabric(sim);
+  auto& src = fabric.add_host("src.bench");
+  auto& r1 = fabric.add_router("r1");
+  auto& r2 = fabric.add_router("r2");
+  auto& dst = fabric.add_host("dst.bench");
+  dir::LinkParams edge;
+  edge.rate_bps = 20e9;  // hosts feed fast enough not to be the bottleneck
+  edge.prop_delay = sim::kMicrosecond;
+  dir::LinkParams channel;
+  channel.rate_bps = 1e9;
+  channel.prop_delay = 5 * sim::kMicrosecond;
+  fabric.connect(src, r1, edge);  // r1 port 1
+  std::vector<int> channel_ports;
+  for (int i = 0; i < kChannels; ++i) {
+    fabric.connect(r1, r2, channel);  // r1 ports 2..11
+    channel_ports.push_back(2 + i);
+    // Cap each channel's queue so overload shows up as loss, not memory.
+    r1.port(2 + i).set_buffer_limit(64 * 1024);
+  }
+  fabric.connect(r2, dst, edge);
+  const int r2_exit = kChannels + 1;
+  r1.define_logical_port(
+      100, viper::LogicalPort{viper::LogicalPort::Kind::kLoadBalance,
+                              channel_ports});
+
+  stats::Samples delays;
+  std::uint64_t delivered_bytes = 0;
+  dst.set_default_handler([&](const viper::Delivery& d) {
+    delivered_bytes += d.data.size();
+    delays.add(sim::to_micros(d.delivered_at - d.sent_at));
+  });
+
+  auto route_for = [&](std::uint64_t flow) {
+    core::SourceRoute route;
+    core::HeaderSegment hop;
+    switch (mode) {
+      case Mode::kSingleChannel:
+        hop.port = 2;
+        break;
+      case Mode::kLogicalPort:
+        hop.port = 100;
+        break;
+      case Mode::kStaticHash:
+        hop.port = static_cast<std::uint8_t>(2 + flow % kChannels);
+        break;
+    }
+    hop.flags.vnt = true;
+    core::HeaderSegment exit;
+    exit.port = static_cast<std::uint8_t>(r2_exit);
+    exit.flags.vnt = true;
+    core::HeaderSegment local;
+    local.port = core::kLocalPort;
+    local.flags.vnt = true;
+    route.segments = {hop, exit, local};
+    return route;
+  };
+
+  // Bursty flows: 32 of them, Poisson packet arrivals overall scaled so
+  // the aggregate offered load matches `offered_gbps`.
+  const double pkts_per_sec = offered_gbps * 1e9 / (kPacketBytes * 8.0);
+  const sim::Time mean_gap =
+      sim::from_seconds(1.0 / pkts_per_sec);
+  sim::Rng rng(99);
+  auto source = std::make_unique<wl::PoissonSource>(
+      sim, 7, mean_gap, [&] {
+        const std::uint64_t flow = rng.uniform_int(0, 31);
+        viper::SendOptions options;
+        options.flow = flow;
+        src.send(route_for(flow), wire::Bytes(kPacketBytes, 0x3C), options);
+      });
+  source->start();
+  sim.run_until(duration);
+
+  LogicalResult result;
+  result.delivered_gbps =
+      static_cast<double>(delivered_bytes) * 8.0 /
+      sim::to_seconds(duration) / 1e9;
+  result.mean_delay_us = delays.mean();
+  result.p99_delay_us = delays.p99();
+  for (int p : channel_ports) {
+    result.drops += r1.port(p).stats().dropped_full +
+                    r1.port(p).stats().dropped_blocked;
+  }
+  return result;
+}
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kSingleChannel: return "single 1G channel";
+    case Mode::kLogicalPort: return "logical port (10x1G)";
+    case Mode::kStaticHash: return "static flow->channel hash";
+  }
+  return "?";
+}
+
+}  // namespace
+}  // namespace srp::bench
+
+int main() {
+  using namespace srp;
+  using namespace srp::bench;
+
+  std::puts("E6 / paper §2.2 — a 10x1G replicated trunk as one logical "
+            "link");
+  std::puts("");
+
+  const sim::Time duration = 50 * sim::kMillisecond;
+  for (double offered : {0.8, 4.0, 8.0, 9.5}) {
+    stats::Table table("offered load " + stats::Table::num(offered, 1) +
+                       " Gb/s, 32 bursty flows");
+    table.columns({"binding", "delivered Gb/s", "mean delay us",
+                   "p99 delay us", "drops"});
+    for (Mode mode :
+         {Mode::kSingleChannel, Mode::kLogicalPort, Mode::kStaticHash}) {
+      const auto r = run_case(mode, offered, duration);
+      table.row({mode_name(mode), stats::Table::num(r.delivered_gbps, 2),
+                 stats::Table::num(r.mean_delay_us, 1),
+                 stats::Table::num(r.p99_delay_us, 1),
+                 std::to_string(r.drops)});
+    }
+    table.note("paper: the logical link exploits all channels with "
+               "late binding; a static single binding saturates at 1 Gb/s;");
+    table.note("per-flow hashing helps but leaves imbalance the router's "
+               "free-channel choice avoids.");
+    table.print();
+    std::puts("");
+  }
+  return 0;
+}

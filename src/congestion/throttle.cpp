@@ -1,0 +1,64 @@
+#include "congestion/throttle.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace srp::cc {
+
+SourceThrottle::SourceThrottle(sim::Simulator& sim, viper::ViperHost& host,
+                               ThrottleConfig config)
+    : sim_(sim), config_(config) {
+  host.set_control_handler(
+      [this](wire::Bytes payload, int) { on_control(std::move(payload)); });
+  sim_.after(config_.ramp_interval, [this] { tick(); });
+}
+
+void SourceThrottle::on_control(wire::Bytes payload) {
+  const auto report = decode_rate_report(payload);
+  if (!report.has_value()) return;
+  apply_report(*report);
+}
+
+void SourceThrottle::apply_report(const RateReport& report) {
+  ++stats_.reports_received;
+  State& s = states_[FlowKey{report.router_id, report.port}];
+  s.rate_bps = report.rate_bps;
+  s.expires = sim_.now() + config_.flow_ttl;
+  s.last_report = sim_.now();
+  s.next_free = std::max(s.next_free, sim_.now());
+}
+
+double SourceThrottle::rate(const FlowKey& key) const {
+  const auto it = states_.find(key);
+  return it == states_.end() ? std::numeric_limits<double>::infinity()
+                             : it->second.rate_bps;
+}
+
+sim::Time SourceThrottle::acquire(const FlowKey& key, std::size_t bytes) {
+  const auto it = states_.find(key);
+  if (it == states_.end()) return sim_.now();
+  State& s = it->second;
+  const sim::Time start = std::max(sim_.now(), s.next_free);
+  s.next_free =
+      start + sim::from_seconds(static_cast<double>(bytes) * 8.0 /
+                                std::max(s.rate_bps, 1.0));
+  if (start > sim_.now()) ++stats_.sends_delayed;
+  return start;
+}
+
+void SourceThrottle::tick() {
+  for (auto it = states_.begin(); it != states_.end();) {
+    State& s = it->second;
+    bool erase = false;
+    if (sim_.now() >= s.expires) {
+      erase = true;
+    } else if (sim_.now() - s.last_report >= config_.ramp_interval) {
+      s.rate_bps *= config_.ramp_factor;
+      if (s.rate_bps >= config_.rate_ceiling_bps) erase = true;
+    }
+    it = erase ? states_.erase(it) : std::next(it);
+  }
+  sim_.after(config_.ramp_interval, [this] { tick(); });
+}
+
+}  // namespace srp::cc

@@ -1,0 +1,68 @@
+// Source-host end of rate-based congestion control.
+//
+// Rate reports that propagate all the way back reach the sending hosts
+// ("the rate-limiting information builds up back from the point of
+// congestion to the sources").  A SourceThrottle receives them via the
+// host's control endpoint and paces the host's transmissions toward each
+// congested downstream queue; rate-based transports (VMTP-style) consult
+// it before scheduling each packet.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "congestion/messages.hpp"
+#include "sim/simulator.hpp"
+#include "viper/host.hpp"
+
+namespace srp::cc {
+
+struct ThrottleConfig {
+  sim::Time flow_ttl = 50 * sim::kMillisecond;
+  double ramp_factor = 1.4;
+  sim::Time ramp_interval = 2 * sim::kMillisecond;
+  /// Rates at or above this are treated as "unlimited" and dropped.
+  double rate_ceiling_bps = 1e12;
+};
+
+class SourceThrottle {
+ public:
+  struct Stats {
+    std::uint64_t reports_received = 0;
+    std::uint64_t sends_delayed = 0;
+  };
+
+  SourceThrottle(sim::Simulator& sim, viper::ViperHost& host,
+                 ThrottleConfig config = {});
+
+  /// Books a packet of @p bytes toward @p key and returns the earliest
+  /// time it may be transmitted (== now when unlimited).
+  sim::Time acquire(const FlowKey& key, std::size_t bytes);
+
+  /// Currently granted rate toward @p key; +inf when unlimited.
+  [[nodiscard]] double rate(const FlowKey& key) const;
+
+  /// Applies a rate report directly (the control-packet path calls this;
+  /// exposed for tests and for transports with their own signalling).
+  void apply_report(const RateReport& report);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct State {
+    double rate_bps = 0.0;
+    sim::Time next_free = 0;
+    sim::Time expires = 0;
+    sim::Time last_report = 0;
+  };
+
+  void on_control(wire::Bytes payload);
+  void tick();
+
+  sim::Simulator& sim_;
+  ThrottleConfig config_;
+  std::map<FlowKey, State> states_;
+  Stats stats_;
+};
+
+}  // namespace srp::cc

@@ -1,0 +1,42 @@
+// Type-of-service and priority semantics (paper §2, §5).
+//
+// The VIPER priority field is 4 bits: "Normal priority is 0 with 7 highest
+// priority.  Priorities 6 and 7 preempt the transmission of lower priority
+// packets in mid-transmission if necessary.  Values with the high-order bit
+// set represent lower priorities, 0xF being the lowest priority."
+#pragma once
+
+#include <cstdint>
+
+namespace srp::core {
+
+/// Per-packet handling when blocked at a router: the paper's
+/// "preempt, save or drop".  Preemption derives from the priority value;
+/// drop is VIPER's DIB (Drop If Blocked) flag; save is the default.
+struct TypeOfService {
+  std::uint8_t priority = 0;     ///< 4-bit VIPER priority
+  bool drop_if_blocked = false;  ///< VIPER DIB flag
+
+  bool operator==(const TypeOfService&) const = default;
+};
+
+/// Total order over the 4-bit priority space: returns a rank where higher
+/// means served first.  0..7 map to ranks 0..7; 8..15 sit *below* 0 with
+/// 0xF lowest (ranks -1..-8).
+constexpr int priority_rank(std::uint8_t priority) {
+  const std::uint8_t p = priority & 0x0F;
+  return p < 8 ? static_cast<int>(p) : 7 - static_cast<int>(p);
+}
+
+/// True for the preemptive priorities (6 and 7).
+constexpr bool priority_preempts(std::uint8_t priority) {
+  const std::uint8_t p = priority & 0x0F;
+  return p == 6 || p == 7;
+}
+
+inline constexpr std::uint8_t kPriorityNormal = 0;
+inline constexpr std::uint8_t kPriorityPreemptLow = 6;
+inline constexpr std::uint8_t kPriorityHighest = 7;
+inline constexpr std::uint8_t kPriorityLowest = 0x0F;
+
+}  // namespace srp::core

@@ -1,0 +1,36 @@
+#include "core/trailer.hpp"
+
+#include <algorithm>
+
+namespace srp::core {
+
+SourceRoute build_return_route(const std::vector<HeaderSegment>& entries,
+                               const wire::Bytes& origin_endpoint) {
+  SourceRoute route;
+  route.segments.reserve(entries.size() + 1);
+  // Last router's entry becomes the first return hop.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    route.segments.push_back(*it);
+  }
+  HeaderSegment local;
+  local.port = kLocalPort;
+  local.port_info = origin_endpoint;
+  local.flags.vnt = origin_endpoint.empty();
+  route.segments.push_back(local);
+  route.set_rpf();
+  return route;
+}
+
+TrailerInfo classify_trailer(std::vector<HeaderSegment> raw_entries) {
+  TrailerInfo info;
+  for (auto& seg : raw_entries) {
+    if (seg.flags.trm) {
+      info.truncated = true;
+    } else {
+      info.entries.push_back(std::move(seg));
+    }
+  }
+  return info;
+}
+
+}  // namespace srp::core

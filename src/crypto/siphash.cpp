@@ -1,0 +1,71 @@
+#include "crypto/siphash.hpp"
+
+namespace srp::crypto {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+std::uint64_t load_le64(const std::uint8_t* p, std::size_t n) {
+  // Loads up to 8 bytes little-endian, zero-padded.
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const SipKey& key,
+                        std::span<const std::uint8_t> data) {
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ key[0];
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ key[1];
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ key[0];
+  std::uint64_t v3 = 0x7465646279746573ULL ^ key[1];
+
+  auto round = [&] {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  };
+
+  const std::size_t len = data.size();
+  const std::size_t whole = len / 8 * 8;
+  for (std::size_t off = 0; off < whole; off += 8) {
+    const std::uint64_t m = load_le64(&data[off], 8);
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  std::uint64_t tail =
+      whole < len ? load_le64(&data[whole], len - whole) : 0;
+  tail |= static_cast<std::uint64_t>(len & 0xff) << 56;
+  v3 ^= tail;
+  round();
+  round();
+  v0 ^= tail;
+
+  v2 ^= 0xff;
+  round();
+  round();
+  round();
+  round();
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace srp::crypto

@@ -1,0 +1,20 @@
+// SipHash-2-4 (Aumasson & Bernstein), implemented from scratch.
+//
+// Used as the keyed MAC over encrypted token bodies (forgery resistance)
+// and as the hash for the router token cache, which the paper keys by "the
+// encrypted value".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace srp::crypto {
+
+/// 128-bit SipHash key.
+using SipKey = std::array<std::uint64_t, 2>;
+
+/// SipHash-2-4 of @p data under @p key.
+std::uint64_t siphash24(const SipKey& key, std::span<const std::uint8_t> data);
+
+}  // namespace srp::crypto

@@ -1,0 +1,38 @@
+// XTEA block cipher (Needham & Wheeler, 1997), implemented from scratch.
+//
+// The paper's port tokens are "encrypted (difficult-to-forge) capabilities"
+// that a router may find expensive to verify in real time.  XTEA gives the
+// reproduction a real cipher with a tiny footprint: 64-bit blocks, 128-bit
+// keys, 64 Feistel rounds.  Tokens are encrypted in CBC mode with a
+// SipHash MAC appended (see tokens/token.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace srp::crypto {
+
+/// 128-bit XTEA key.
+using XteaKey = std::array<std::uint32_t, 4>;
+
+/// Encrypts one 64-bit block in place (v = {v0, v1}).
+void xtea_encrypt_block(const XteaKey& key, std::uint32_t v[2]);
+
+/// Decrypts one 64-bit block in place.
+void xtea_decrypt_block(const XteaKey& key, std::uint32_t v[2]);
+
+/// CBC-mode encryption with a fixed all-zero IV and zero padding to an
+/// 8-byte multiple.  Token plaintexts carry their own length field, so the
+/// padding is unambiguous; a fixed IV is acceptable because every token
+/// plaintext begins with a unique serial number.
+std::vector<std::uint8_t> xtea_cbc_encrypt(const XteaKey& key,
+                                           std::span<const std::uint8_t> in);
+
+/// Inverse of xtea_cbc_encrypt (output retains the zero padding).
+/// Input size must be a non-zero multiple of 8.
+std::vector<std::uint8_t> xtea_cbc_decrypt(const XteaKey& key,
+                                           std::span<const std::uint8_t> in);
+
+}  // namespace srp::crypto

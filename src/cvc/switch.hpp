@@ -1,0 +1,64 @@
+// Virtual-circuit switch for the CVC baseline.
+//
+// SETUP frames allocate per-circuit state (both directions of the label
+// mapping) and pay call-processing time at every switch; DATA frames are
+// label-swapped store-and-forward.  The switch counts its peak circuit
+// state — the cost the paper holds against the CVC approach.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cvc/wire.hpp"
+#include "net/network.hpp"
+
+namespace srp::cvc {
+
+struct SwitchConfig {
+  /// Call processing per SETUP/CONNECT/RELEASE (circuit bookkeeping).
+  sim::Time setup_proc = 500 * sim::kMicrosecond;
+  /// Per-packet label swap + store-and-forward processing.
+  sim::Time data_proc = 5 * sim::kMicrosecond;
+  /// Memory cost per circuit-table entry, for the state accounting.
+  std::size_t bytes_per_entry = 32;
+};
+
+class CvcSwitch : public net::PortedNode {
+ public:
+  struct Stats {
+    std::uint64_t setups = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t data_forwarded = 0;
+    std::uint64_t dropped_unknown_vci = 0;
+    std::uint64_t dropped_malformed = 0;
+    std::size_t circuits_active = 0;   ///< current (in both directions / 2)
+    std::size_t circuits_peak = 0;
+  };
+
+  CvcSwitch(sim::Simulator& sim, std::string name, SwitchConfig config);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t state_bytes() const {
+    return table_.size() * config_.bytes_per_entry;
+  }
+  [[nodiscard]] std::size_t peak_state_bytes() const {
+    return 2 * stats_.circuits_peak * config_.bytes_per_entry;
+  }
+
+  void on_arrival(const net::Arrival& arrival) override;
+
+ private:
+  using Leg = std::pair<int, std::uint16_t>;  // (port, vci)
+
+  void process(const net::Arrival& arrival);
+  void forward(int out_port, const Frame& frame, const net::Packet& origin);
+  std::uint16_t allocate_vci(int port_index);
+
+  SwitchConfig config_;
+  std::map<Leg, Leg> table_;  ///< both directions present
+  std::map<int, std::uint16_t> next_vci_;
+  Stats stats_;
+};
+
+}  // namespace srp::cvc

@@ -1,0 +1,40 @@
+#include "cvc/wire.hpp"
+
+namespace srp::cvc {
+
+wire::Bytes encode_frame(const Frame& frame) {
+  wire::Writer w(16 + frame.route.size() + frame.payload.size());
+  w.u8(static_cast<std::uint8_t>(frame.type));
+  w.u16(frame.vci);
+  if (frame.type == FrameType::kSetup) {
+    w.u64(frame.call_id);
+    w.u8(static_cast<std::uint8_t>(frame.route.size()));
+    w.bytes(frame.route);
+  }
+  w.bytes(frame.payload);
+  return std::move(w).take();
+}
+
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> bytes) {
+  try {
+    wire::Reader r(bytes);
+    Frame frame;
+    const std::uint8_t type = r.u8();
+    if (type < 1 || type > 5) return std::nullopt;
+    frame.type = static_cast<FrameType>(type);
+    frame.vci = r.u16();
+    if (frame.type == FrameType::kSetup) {
+      frame.call_id = r.u64();
+      const std::uint8_t hops = r.u8();
+      frame.route.resize(hops);
+      const auto v = r.view(hops);
+      std::copy(v.begin(), v.end(), frame.route.begin());
+    }
+    frame.payload = r.bytes(r.remaining());
+    return frame;
+  } catch (const wire::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace srp::cvc

@@ -1,0 +1,43 @@
+// Wire format for the concatenated-virtual-circuit (X.75-style) baseline.
+//
+// The paper's first strawman: "The CVC approach requires a circuit setup
+// between endpoints before communication can take place, introducing a
+// full roundtrip delay.  It also requires a significant amount of state in
+// the gateways."  Frames are label-switched: every frame leads with a type
+// byte and the VCI for the link it travels on; SETUP additionally carries
+// the remaining source-routed switch ports and an end-to-end call id.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "wire/buffer.hpp"
+
+namespace srp::cvc {
+
+enum class FrameType : std::uint8_t {
+  kSetup = 1,    ///< allocates circuit state hop by hop
+  kConnect = 2,  ///< confirmation travelling back to the caller
+  kReject = 3,   ///< setup failure travelling back
+  kRelease = 4,  ///< tears circuit state down
+  kData = 5,
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::uint16_t vci = 0;  ///< virtual circuit id on the current link
+
+  // kSetup only:
+  std::uint64_t call_id = 0;
+  std::vector<std::uint8_t> route;  ///< remaining switch output ports
+
+  wire::Bytes payload;  ///< kData: user bytes
+
+  bool operator==(const Frame&) const = default;
+};
+
+wire::Bytes encode_frame(const Frame& frame);
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> bytes);
+
+}  // namespace srp::cvc

@@ -1,0 +1,79 @@
+#include "directory/directory.hpp"
+
+#include <cassert>
+
+namespace srp::dir {
+
+std::uint32_t Directory::add_region(std::string name, std::uint32_t parent) {
+  assert(parent < regions_.size());
+  const auto id = static_cast<std::uint32_t>(regions_.size());
+  regions_.push_back(Region{id, std::move(name), parent, {}});
+  regions_[parent].children.push_back(id);
+  return id;
+}
+
+void Directory::register_name(std::string fqdn, std::uint32_t node_id,
+                              std::uint32_t region) {
+  assert(region < regions_.size());
+  names_[std::move(fqdn)] = {node_id, region};
+}
+
+std::optional<std::uint32_t> Directory::resolve(std::string_view fqdn) {
+  const auto it = names_.find(fqdn);
+  if (it == names_.end()) {
+    ++stats_.resolve_failures;
+    return std::nullopt;
+  }
+  // Model the hierarchical resolution cost: one visit per region level
+  // from the root down to the owning region, plus the root itself.
+  std::size_t depth = 1;
+  for (std::uint32_t r = it->second.second; r != 0; r = regions_[r].parent) {
+    ++depth;
+  }
+  stats_.server_visits += depth;
+  return it->second.first;
+}
+
+void Directory::attach_tokens(IssuedRoute& route,
+                              const QueryOptions& options) {
+  if (authority_ == nullptr) return;
+  // One token per router hop; the final segment is local delivery and
+  // needs none.
+  assert(route.router_ids.size() + 1 == route.route.segments.size());
+  for (std::size_t i = 0; i < route.router_ids.size(); ++i) {
+    core::HeaderSegment& seg = route.route.segments[i];
+    tokens::TokenBody body;
+    body.router_id = route.router_ids[i];
+    body.port = seg.port;
+    body.max_priority = core::kPriorityHighest;
+    body.reverse_ok = true;
+    body.account = options.account;
+    body.byte_limit = options.token_byte_limit;
+    body.expiry_sec = options.token_expiry_sec;
+    seg.token = authority_->mint(body);
+    ++stats_.tokens_minted;
+  }
+}
+
+std::vector<IssuedRoute> Directory::query(std::uint32_t from_node,
+                                          std::string_view fqdn,
+                                          QueryOptions options) {
+  ++stats_.queries;
+  std::vector<IssuedRoute> issued;
+  const auto target = resolve(fqdn);
+  if (!target.has_value()) return issued;
+
+  RouteQuery constraints = options.constraints;
+  constraints.from = from_node;
+  constraints.to = *target;
+  const auto computed = compute_routes(topo_, constraints);
+  issued.reserve(computed.size());
+  for (const auto& c : computed) {
+    IssuedRoute r = materialize_route(topo_, c, options.dest_endpoint);
+    attach_tokens(r, options);
+    issued.push_back(std::move(r));
+  }
+  return issued;
+}
+
+}  // namespace srp::dir

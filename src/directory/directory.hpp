@@ -1,0 +1,112 @@
+// The internetwork directory service (paper §3).
+//
+// "The global internetwork directory service is extended in Sirpent to
+// provide routes to a host or service, given its character-string name."
+// Names are hierarchical (stanford.edu / cs.stanford.edu) and double as the
+// routing-region hierarchy, Singh-style: each region has a directory server
+// responsible for names in its region, with queries walking up to the
+// common ancestor and back down.  A query returns one or more routes, each
+// with attributes (MTU, bandwidth, delay, cost, security) and — when token
+// enforcement is on — the per-hop port tokens, "provided by the routing
+// directory servers at the time that the source determines the route".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "directory/routes.hpp"
+#include "directory/topology.hpp"
+#include "tokens/token.hpp"
+
+namespace srp::dir {
+
+/// One region's directory server.  Regions mirror naming domains
+/// ("stanford.edu represents both a naming and routing domain").
+struct Region {
+  std::uint32_t id = 0;
+  std::string name;           ///< e.g. "stanford.edu"; root region is ""
+  std::uint32_t parent = 0;   ///< root points at itself
+  std::vector<std::uint32_t> children;
+};
+
+/// Options a client attaches to a query beyond the path constraints.
+struct QueryOptions {
+  RouteQuery constraints;          ///< from is filled in by query()
+  std::uint32_t account = 0;       ///< account to charge via tokens
+  std::uint64_t dest_endpoint = 0; ///< endpoint id for the final segment
+  std::uint64_t token_byte_limit = 0;  ///< per-hop usage cap (0 = none)
+  std::uint32_t token_expiry_sec = 0;  ///< absolute sim-seconds (0 = none)
+};
+
+class Directory {
+ public:
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t resolve_failures = 0;
+    std::uint64_t server_visits = 0;  ///< region servers touched resolving
+    std::uint64_t tokens_minted = 0;
+  };
+
+  /// @p authority may be null: routes are then issued without tokens.
+  explicit Directory(TopologyDb& topo,
+                     tokens::TokenAuthority* authority = nullptr)
+      : topo_(topo), authority_(authority) {
+    regions_.push_back(Region{0, "", 0, {}});  // root
+  }
+
+  /// Creates a region under @p parent (0 = root).  Returns the region id.
+  std::uint32_t add_region(std::string name, std::uint32_t parent = 0);
+
+  /// Binds a fully qualified name to a topology node within a region.
+  void register_name(std::string fqdn, std::uint32_t node_id,
+                     std::uint32_t region = 0);
+
+  /// Name to topology node; counts region-server visits walked, modelling
+  /// the hierarchy ("each server is responsible for ... higher layer
+  /// servers and lower level servers within the same region").
+  [[nodiscard]] std::optional<std::uint32_t> resolve(std::string_view fqdn);
+
+  /// The paper's route query: multiple routes, attributes, tokens.
+  /// @p from_region is the region whose server the client asks (affects
+  /// the server-visit count only; routing data is global in this model).
+  std::vector<IssuedRoute> query(std::uint32_t from_node,
+                                 std::string_view fqdn,
+                                 QueryOptions options);
+
+  /// Load / liveness advisories feed straight into the topology database.
+  void report_link_load(std::uint32_t from, std::uint32_t to, double load) {
+    topo_.set_link_load(from, to, load);
+  }
+  void report_link_state(std::uint32_t from, std::uint32_t to, bool up) {
+    topo_.set_link_up(from, to, up);
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] TopologyDb& topology() { return topo_; }
+  [[nodiscard]] tokens::TokenAuthority* authority() { return authority_; }
+
+  /// Region owning @p fqdn, if registered (used by region servers to
+  /// decide whether to answer or refer, Singh-style).
+  [[nodiscard]] std::optional<std::uint32_t> region_of(
+      std::string_view fqdn) const {
+    const auto it = names_.find(fqdn);
+    if (it == names_.end()) return std::nullopt;
+    return it->second.second;
+  }
+
+ private:
+  void attach_tokens(IssuedRoute& route, const QueryOptions& options);
+
+  TopologyDb& topo_;
+  tokens::TokenAuthority* authority_;
+  std::vector<Region> regions_;
+  std::map<std::string, std::pair<std::uint32_t, std::uint32_t>, std::less<>>
+      names_;  // fqdn -> (node id, region id)
+  Stats stats_;
+};
+
+}  // namespace srp::dir

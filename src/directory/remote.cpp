@@ -1,0 +1,255 @@
+#include "directory/remote.hpp"
+
+#include <bit>
+
+#include "viper/codec.hpp"
+
+namespace srp::dir {
+namespace {
+
+constexpr std::uint8_t kTagQuery = 0x51;     // 'Q'
+constexpr std::uint8_t kTagRoutes = 0x52;    // 'R'
+constexpr std::uint8_t kTagReferral = 0x46;  // 'F'
+
+void encode_one_route(wire::Writer& w, const IssuedRoute& route) {
+  const wire::Bytes blob = viper::encode_route(route.route);
+  w.u16(static_cast<std::uint16_t>(blob.size()));
+  w.bytes(blob);
+  w.u8(route.first_hop_link.has_value() ? 1 : 0);
+  if (route.first_hop_link.has_value()) {
+    route.first_hop_link->encode(w);
+  }
+  w.u8(static_cast<std::uint8_t>(route.host_out_port));
+  w.u64(static_cast<std::uint64_t>(route.propagation_delay));
+  w.u64(std::bit_cast<std::uint64_t>(route.bottleneck_bps));
+  w.u32(static_cast<std::uint32_t>(route.mtu));
+  w.u64(std::bit_cast<std::uint64_t>(route.cost));
+  w.u8(route.security_floor);
+  w.u16(static_cast<std::uint16_t>(route.hops));
+  w.u8(static_cast<std::uint8_t>(route.router_ids.size()));
+  for (std::uint32_t id : route.router_ids) w.u32(id);
+}
+
+IssuedRoute decode_one_route(wire::Reader& r) {
+  IssuedRoute route;
+  const std::uint16_t blob_len = r.u16();
+  wire::Reader blob_reader(r.view(blob_len));
+  route.route.segments = viper::decode_segments(blob_reader);
+  if (r.u8() != 0) {
+    route.first_hop_link = net::EthernetHeader::decode(r);
+  }
+  route.host_out_port = r.u8();
+  route.propagation_delay = static_cast<sim::Time>(r.u64());
+  route.bottleneck_bps = std::bit_cast<double>(r.u64());
+  route.mtu = r.u32();
+  route.cost = std::bit_cast<double>(r.u64());
+  route.security_floor = r.u8();
+  route.hops = r.u16();
+  const std::uint8_t n_ids = r.u8();
+  route.router_ids.reserve(n_ids);
+  for (std::uint8_t i = 0; i < n_ids; ++i) {
+    route.router_ids.push_back(r.u32());
+  }
+  return route;
+}
+
+}  // namespace
+
+wire::Bytes encode_route_query(std::uint32_t from_node,
+                               std::string_view name,
+                               const QueryOptions& options) {
+  wire::Writer w(64 + name.size());
+  w.u8(kTagQuery);
+  w.u32(from_node);
+  w.u16(static_cast<std::uint16_t>(name.size()));
+  w.bytes(std::span(reinterpret_cast<const std::uint8_t*>(name.data()),
+                    name.size()));
+  w.u8(static_cast<std::uint8_t>(options.constraints.metric));
+  w.u8(options.constraints.min_security);
+  w.u64(std::bit_cast<std::uint64_t>(options.constraints.min_bandwidth_bps));
+  w.u16(static_cast<std::uint16_t>(options.constraints.count));
+  w.u32(options.account);
+  w.u64(options.dest_endpoint);
+  w.u64(options.token_byte_limit);
+  w.u32(options.token_expiry_sec);
+  return std::move(w).take();
+}
+
+std::optional<DecodedQuery> decode_route_query(
+    std::span<const std::uint8_t> bytes) {
+  try {
+    wire::Reader r(bytes);
+    if (r.u8() != kTagQuery) return std::nullopt;
+    DecodedQuery q;
+    q.from_node = r.u32();
+    const std::uint16_t name_len = r.u16();
+    const auto name_bytes = r.view(name_len);
+    q.name.assign(name_bytes.begin(), name_bytes.end());
+    q.options.constraints.metric = static_cast<RouteMetric>(r.u8());
+    q.options.constraints.min_security = r.u8();
+    q.options.constraints.min_bandwidth_bps = std::bit_cast<double>(r.u64());
+    q.options.constraints.count = r.u16();
+    q.options.account = r.u32();
+    q.options.dest_endpoint = r.u64();
+    q.options.token_byte_limit = r.u64();
+    q.options.token_expiry_sec = r.u32();
+    return q;
+  } catch (const wire::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+wire::Bytes encode_issued_routes(const std::vector<IssuedRoute>& routes) {
+  wire::Writer w;
+  w.u8(kTagRoutes);
+  w.u8(static_cast<std::uint8_t>(routes.size()));
+  for (const auto& route : routes) encode_one_route(w, route);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<IssuedRoute>> decode_issued_routes(
+    std::span<const std::uint8_t> bytes) {
+  try {
+    wire::Reader r(bytes);
+    if (r.u8() != kTagRoutes) return std::nullopt;
+    const std::uint8_t count = r.u8();
+    std::vector<IssuedRoute> routes;
+    routes.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) {
+      routes.push_back(decode_one_route(r));
+    }
+    return routes;
+  } catch (const wire::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+wire::Bytes encode_referral(const Referral& referral) {
+  wire::Writer w;
+  w.u8(kTagReferral);
+  w.u64(referral.server_entity);
+  encode_one_route(w, referral.server_route);
+  return std::move(w).take();
+}
+
+std::optional<QueryResponse> decode_query_response(
+    std::span<const std::uint8_t> bytes) {
+  try {
+    wire::Reader r(bytes);
+    const std::uint8_t tag = r.u8();
+    QueryResponse response;
+    if (tag == kTagRoutes) {
+      const std::uint8_t count = r.u8();
+      response.routes.reserve(count);
+      for (std::uint8_t i = 0; i < count; ++i) {
+        response.routes.push_back(decode_one_route(r));
+      }
+      return response;
+    }
+    if (tag == kTagReferral) {
+      Referral referral;
+      referral.server_entity = r.u64();
+      referral.server_route = decode_one_route(r);
+      response.referral = std::move(referral);
+      return response;
+    }
+    return std::nullopt;
+  } catch (const wire::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+DirectoryServerNode::DirectoryServerNode(sim::Simulator& sim,
+                                         viper::ViperHost& host,
+                                         Directory& directory,
+                                         std::uint64_t entity)
+    : directory_(directory), endpoint_(sim, host, entity) {
+  endpoint_.serve([this](std::span<const std::uint8_t> request,
+                         const viper::Delivery&) -> wire::Bytes {
+    const auto query = decode_route_query(request);
+    if (!query.has_value()) {
+      return encode_issued_routes({});
+    }
+    if (scope_.has_value()) {
+      const auto region = directory_.region_of(query->name);
+      if (region.has_value() && !scope_->contains(*region)) {
+        // Out of this server's naming region: refer the client to the
+        // peer server, with a route computed from the *requester*.
+        QueryOptions peer_options;
+        peer_options.dest_endpoint = peer_entity_;
+        auto peer_routes = directory_.query(query->from_node, peer_fqdn_,
+                                            peer_options);
+        if (!peer_routes.empty()) {
+          ++referrals_issued_;
+          return encode_referral(
+              Referral{std::move(peer_routes.front()), peer_entity_});
+        }
+      }
+    }
+    ++queries_served_;
+    return encode_issued_routes(
+        directory_.query(query->from_node, query->name, query->options));
+  });
+}
+
+void DirectoryServerNode::serve_regions(std::set<std::uint32_t> regions,
+                                        std::string peer_fqdn,
+                                        std::uint64_t peer_entity) {
+  scope_ = std::move(regions);
+  peer_fqdn_ = std::move(peer_fqdn);
+  peer_entity_ = peer_entity;
+}
+
+RemoteDirectoryClient::RemoteDirectoryClient(
+    sim::Simulator& sim, viper::ViperHost& host, std::uint32_t self_node,
+    IssuedRoute server_route, std::uint64_t client_entity,
+    std::uint64_t server_entity)
+    : self_node_(self_node), server_route_(std::move(server_route)),
+      server_entity_(server_entity),
+      endpoint_(sim, host, client_entity) {}
+
+void RemoteDirectoryClient::query(const std::string& name,
+                                  QueryOptions options,
+                                  QueryCallback callback) {
+  query_at(server_route_, server_entity_, name, options, /*depth=*/0,
+           /*rtt_so_far=*/0, std::move(callback));
+}
+
+void RemoteDirectoryClient::query_at(const IssuedRoute& server_route,
+                                     std::uint64_t server_entity,
+                                     const std::string& name,
+                                     QueryOptions options, int depth,
+                                     sim::Time rtt_so_far,
+                                     QueryCallback callback) {
+  constexpr int kMaxReferralDepth = 8;
+  const wire::Bytes request = encode_route_query(self_node_, name, options);
+  endpoint_.invoke(
+      server_route, server_entity, request,
+      [this, name, options, depth, rtt_so_far,
+       callback = std::move(callback)](vmtp::Result result) {
+        const sim::Time total_rtt = rtt_so_far + result.rtt;
+        if (!result.ok) {
+          callback({}, total_rtt);
+          return;
+        }
+        auto response = decode_query_response(result.response);
+        if (!response.has_value()) {
+          callback({}, total_rtt);
+          return;
+        }
+        if (response->referral.has_value()) {
+          if (depth >= kMaxReferralDepth) {
+            callback({}, total_rtt);
+            return;
+          }
+          ++referrals_followed_;
+          const Referral referral = std::move(*response->referral);
+          query_at(referral.server_route, referral.server_entity, name,
+                   options, depth + 1, total_rtt, std::move(callback));
+          return;
+        }
+        callback(std::move(response->routes), total_rtt);
+      });
+}
+
+}  // namespace srp::dir

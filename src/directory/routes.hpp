@@ -1,0 +1,82 @@
+// Route computation over the topology database (paper §3).
+//
+// "A client can request and receive multiple routes to a service.  It can
+// also request a route with particular properties, such as low delay, high
+// bandwidth, low cost and security."  Implemented as constrained Dijkstra
+// for the best route plus Yen's algorithm for k alternatives; policy
+// constraints (security floor, bandwidth floor, avoiding down links) are
+// edge filters, following Clark's policy-routing framing the paper builds
+// on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/segment.hpp"
+#include "directory/topology.hpp"
+#include "net/ethernet.hpp"
+
+namespace srp::dir {
+
+/// Optimization objective for a route request.
+enum class RouteMetric : std::uint8_t {
+  kDelay,      ///< minimize propagation delay
+  kCost,       ///< minimize administrative cost
+  kHops,       ///< minimize router count
+  kLoadAware,  ///< delay scaled by advisory load
+};
+
+/// Client requirements (paper §3's "route with particular properties").
+struct RouteQuery {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  RouteMetric metric = RouteMetric::kDelay;
+  std::uint8_t min_security = 0;   ///< exclude links below this level
+  double min_bandwidth_bps = 0.0;  ///< exclude slower links
+  std::size_t count = 1;           ///< number of (disjoint-ish) routes
+  bool include_down_links = false;
+};
+
+/// One computed path with the attributes the directory reports so the
+/// client "can determine (up to variations in queuing delay) the roundtrip
+/// time and MTU for packets on this route" (paper §3).
+struct ComputedRoute {
+  std::vector<std::size_t> link_indices;  ///< into TopologyDb::links()
+  sim::Time propagation_delay = 0;        ///< one-way, sum of links
+  double bottleneck_bps = 0.0;
+  std::size_t mtu = 0;                    ///< minimum along the path
+  double cost = 0.0;
+  std::uint8_t security_floor = 255;
+  std::size_t hops = 0;                   ///< routers traversed
+};
+
+/// Computes up to query.count routes, best first.  Empty when unreachable.
+std::vector<ComputedRoute> compute_routes(const TopologyDb& topo,
+                                          const RouteQuery& query);
+
+/// A route as handed to a client: the VIPER source route (ending in a
+/// local-delivery segment), the initial link header when the first hop
+/// crosses a LAN, and the advertised attributes.
+struct IssuedRoute {
+  core::SourceRoute route;
+  std::optional<net::EthernetHeader> first_hop_link;
+  int host_out_port = 1;  ///< the client host's port for the first hop
+
+  sim::Time propagation_delay = 0;
+  double bottleneck_bps = 0.0;
+  std::size_t mtu = 0;
+  double cost = 0.0;
+  std::uint8_t security_floor = 0;
+  std::size_t hops = 0;
+  std::vector<std::uint32_t> router_ids;  ///< routers along the path
+};
+
+/// Materializes a computed path into an IssuedRoute (without tokens; the
+/// Directory adds those).  @p dest_endpoint is the optional 8-byte
+/// endpoint id for the final local segment (0 = host dispatcher).
+IssuedRoute materialize_route(const TopologyDb& topo,
+                              const ComputedRoute& computed,
+                              std::uint64_t dest_endpoint = 0);
+
+}  // namespace srp::dir

@@ -1,0 +1,74 @@
+#include "directory/topology.hpp"
+
+namespace srp::dir {
+
+std::uint32_t TopologyDb::add_node(NodeType type, std::string name) {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(TopoNode{id, type, std::move(name)});
+  adjacency_.emplace_back();
+  return id;
+}
+
+std::size_t TopologyDb::add_link(TopoLink link) {
+  if (link.from >= nodes_.size() || link.to >= nodes_.size()) {
+    throw std::out_of_range("TopologyDb::add_link: unknown node");
+  }
+  const std::size_t index = links_.size();
+  adjacency_[link.from].push_back(index);
+  links_.push_back(link);
+  return index;
+}
+
+void TopologyDb::add_duplex(std::uint32_t a, std::uint32_t b,
+                            std::uint8_t port_at_a, std::uint8_t port_at_b,
+                            const TopoLink& params) {
+  TopoLink forward = params;
+  forward.from = a;
+  forward.to = b;
+  forward.from_port = port_at_a;
+  add_link(forward);
+
+  TopoLink backward = params;
+  backward.from = b;
+  backward.to = a;
+  backward.from_port = port_at_b;
+  if (params.lan) {
+    backward.from_mac = params.to_mac;
+    backward.to_mac = params.from_mac;
+  }
+  add_link(backward);
+}
+
+const TopoNode& TopologyDb::node(std::uint32_t id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("TopologyDb::node: unknown id");
+  }
+  return nodes_[id];
+}
+
+const std::vector<std::size_t>& TopologyDb::out_links(
+    std::uint32_t node_id) const {
+  if (node_id >= adjacency_.size()) {
+    throw std::out_of_range("TopologyDb::out_links: unknown id");
+  }
+  return adjacency_[node_id];
+}
+
+void TopologyDb::set_link_up(std::uint32_t from, std::uint32_t to, bool up) {
+  if (TopoLink* l = find_link(from, to)) l->up = up;
+}
+
+void TopologyDb::set_link_load(std::uint32_t from, std::uint32_t to,
+                               double load) {
+  if (TopoLink* l = find_link(from, to)) l->load = load;
+}
+
+TopoLink* TopologyDb::find_link(std::uint32_t from, std::uint32_t to) {
+  if (from >= adjacency_.size()) return nullptr;
+  for (std::size_t index : adjacency_[from]) {
+    if (links_[index].to == to) return &links_[index];
+  }
+  return nullptr;
+}
+
+}  // namespace srp::dir

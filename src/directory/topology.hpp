@@ -1,0 +1,84 @@
+// Internetwork topology database (paper §3).
+//
+// "Routing information is updated by reports from routers, hosts and
+// networking monitors.  The directory servers ... can also observe load
+// and failures as part of their normal operation."  The database holds the
+// graph the directory computes routes over: nodes (routers/hosts) and
+// directed links annotated with the attributes the paper's directory
+// returns to clients — bandwidth, propagation delay, MTU, cost and
+// security — plus liveness and advisory load.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/ethernet.hpp"
+#include "sim/time.hpp"
+
+namespace srp::dir {
+
+enum class NodeType : std::uint8_t { kRouter, kHost };
+
+struct TopoNode {
+  std::uint32_t id = 0;
+  NodeType type = NodeType::kRouter;
+  std::string name;  ///< informational; FQDN binding lives in Directory
+};
+
+struct TopoLink {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  /// VIPER output port (or logical port id) at `from` leading to `to`.
+  std::uint8_t from_port = 0;
+
+  double bandwidth_bps = 1e9;
+  sim::Time prop_delay = sim::kMicrosecond;
+  std::size_t mtu = 1500;
+  double cost = 1.0;          ///< administrative / monetary cost
+  std::uint8_t security = 0;  ///< higher = more trusted path
+  bool up = true;
+  double load = 0.0;          ///< advisory utilization in [0, 1]
+
+  /// Link-layer addressing when this hop crosses a multi-access network.
+  bool lan = false;
+  net::MacAddr from_mac;  ///< sender's MAC on the shared network
+  net::MacAddr to_mac;    ///< next recipient's MAC
+};
+
+class TopologyDb {
+ public:
+  std::uint32_t add_node(NodeType type, std::string name);
+
+  /// Adds a directed link; returns its index.
+  std::size_t add_link(TopoLink link);
+
+  /// Convenience: adds both directions of a symmetric link.
+  /// @p port_at_from / @p port_at_to are the VIPER ports on each side.
+  void add_duplex(std::uint32_t a, std::uint32_t b, std::uint8_t port_at_a,
+                  std::uint8_t port_at_b, const TopoLink& params);
+
+  [[nodiscard]] const TopoNode& node(std::uint32_t id) const;
+  [[nodiscard]] const std::vector<TopoLink>& links() const { return links_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Outgoing links of @p node_id (indices into links()).
+  [[nodiscard]] const std::vector<std::size_t>& out_links(
+      std::uint32_t node_id) const;
+
+  /// Monitoring reports (paper §3 / §6.3).
+  void set_link_up(std::uint32_t from, std::uint32_t to, bool up);
+  void set_link_load(std::uint32_t from, std::uint32_t to, double load);
+
+  [[nodiscard]] TopoLink* find_link(std::uint32_t from, std::uint32_t to);
+
+ private:
+  std::vector<TopoNode> nodes_;
+  std::vector<TopoLink> links_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace srp::dir

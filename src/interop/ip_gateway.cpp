@@ -1,0 +1,49 @@
+#include "interop/ip_gateway.hpp"
+
+namespace srp::interop {
+
+wire::Bytes encode_tunnel_info(ip::Addr far_gateway) {
+  wire::Writer w(5);
+  w.u8(kTunnelInfoTag);
+  w.u32(far_gateway);
+  return std::move(w).take();
+}
+
+std::optional<ip::Addr> decode_tunnel_info(const wire::Bytes& info) {
+  if (info.size() != 5 || info[0] != kTunnelInfoTag) return std::nullopt;
+  wire::Reader r(info);
+  r.skip(1);
+  return r.u32();
+}
+
+IpTunnel::IpTunnel(viper::ViperRouter& router, ip::IpHost& ip_host,
+                   std::uint8_t tunnel_port_id)
+    : router_(router), ip_host_(ip_host), tunnel_port_id_(tunnel_port_id) {
+  // Egress: VIPER -> IP datagram toward the far gateway.
+  router_.define_tunnel_port(
+      tunnel_port_id_,
+      [this](const wire::Bytes& info, wire::Bytes viper_bytes,
+             const core::TypeOfService& tos) {
+        const auto far = decode_tunnel_info(info);
+        if (!far.has_value()) {
+          ++stats_.bad_tunnel_info;
+          return;
+        }
+        ++stats_.encapsulated;
+        ip_host_.send(*far, kProtoSirpent, viper_bytes,
+                      static_cast<std::uint8_t>(tos.priority << 5));
+      });
+
+  // Ingress: IP datagram -> back into the Sirpent world.  The reverse
+  // trailer entry names this tunnel port with the *source* gateway's
+  // address, learned from the IP header, so replies tunnel back.
+  ip_host_.set_handler(
+      [this](const ip::IpHeader& header, wire::Bytes payload) {
+        if (header.protocol != kProtoSirpent) return;
+        ++stats_.decapsulated;
+        router_.inject_from_tunnel(tunnel_port_id_, std::move(payload),
+                                   encode_tunnel_info(header.src));
+      });
+}
+
+}  // namespace srp::interop

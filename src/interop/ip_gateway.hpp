@@ -1,0 +1,70 @@
+// Sirpent over IP: "the Internet as one logical hop" (paper §2.3).
+//
+// "An IP protocol number is assigned to the Sirpent protocol.  A Sirpent
+// packet can view the Internet as providing one logical hop across its
+// internetwork.  That is, the packet is source routed to an IP host or
+// gateway so that the header is now an IP header.  The host/gateway uses
+// standard IP to route the packet to the specified destination host.  At
+// this point, the packet is demultiplexed to the Sirpent protocol module
+// which interprets the remainder of the packet header as a source route on
+// from that point."
+//
+// An IpTunnel binds a co-located ViperRouter and IpHost into such a
+// gateway.  A VIPER segment addressed to the router's tunnel port carries
+// the far gateway's IP address in its portInfo; the remainder of the VIPER
+// packet travels as an IP datagram (fragmented and reassembled by the IP
+// substrate if need be) and re-enters the Sirpent world at the far side —
+// with the reverse trailer entry pointing back through the tunnel, so
+// return routes work transparently across the IP cloud.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ip/host.hpp"
+#include "viper/router.hpp"
+
+namespace srp::interop {
+
+/// IP protocol number assigned to Sirpent-in-IP encapsulation.
+inline constexpr std::uint8_t kProtoSirpent = 94;
+
+/// Tag byte opening a tunnel portInfo field (distinct from the tree tag
+/// 0x54 and from MAC first octets used in our deployments).
+inline constexpr std::uint8_t kTunnelInfoTag = 0x49;  // 'I'
+
+/// Encodes a tunnel portInfo: [tag][u32 far-gateway IP address].
+wire::Bytes encode_tunnel_info(ip::Addr far_gateway);
+std::optional<ip::Addr> decode_tunnel_info(const wire::Bytes& info);
+
+/// Note: only the wire image crosses the tunnel (as it would in reality),
+/// so simulation-side bookkeeping (packet id, hop count, creation time)
+/// restarts at the far gateway; end-to-end timing should be measured at
+/// the transport layer, which is unaffected.
+class IpTunnel {
+ public:
+  struct Stats {
+    std::uint64_t encapsulated = 0;
+    std::uint64_t decapsulated = 0;
+    std::uint64_t bad_tunnel_info = 0;
+  };
+
+  /// Wires @p router's @p tunnel_port_id to @p ip_host.  The IpHost must
+  /// be attached to the IP internetwork; incoming kProtoSirpent datagrams
+  /// are injected back into the router.
+  IpTunnel(viper::ViperRouter& router, ip::IpHost& ip_host,
+           std::uint8_t tunnel_port_id);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::uint8_t tunnel_port_id() const {
+    return tunnel_port_id_;
+  }
+
+ private:
+  viper::ViperRouter& router_;
+  ip::IpHost& ip_host_;
+  std::uint8_t tunnel_port_id_;
+  Stats stats_;
+};
+
+}  // namespace srp::interop

@@ -1,0 +1,108 @@
+// Builder for IP baseline networks, mirroring dir::Fabric for the Sirpent
+// stack so benches can raise identical topologies on both.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ip/dv.hpp"
+#include "ip/host.hpp"
+#include "ip/router.hpp"
+#include "net/network.hpp"
+
+namespace srp::ip {
+
+class IpFabric {
+ public:
+  explicit IpFabric(sim::Simulator& sim) : sim_(sim), net_(sim) {}
+
+  IpHost& add_host(const std::string& name, Addr address,
+                   IpHostConfig config = {}) {
+    config.address = address;
+    auto& host = net_.add<IpHost>(name, net_.packets(), config);
+    hosts_.push_back(&host);
+    return host;
+  }
+
+  IpRouter& add_router(const std::string& name, Addr address,
+                       IpRouterConfig config = {}) {
+    config.address = address;
+    auto& router = net_.add<IpRouter>(name, net_.packets(), config);
+    routers_.push_back(&router);
+    return router;
+  }
+
+  /// Duplex link; when one side is a router and the other a host, the
+  /// router gains a connected route to the host.
+  void connect(net::PortedNode& a, net::PortedNode& b,
+               net::LinkConfig config) {
+    const auto [pa, pb] = net_.duplex(a, b, config);
+    links_.push_back({&a, &b, pa, pb});
+    if (auto* ra = dynamic_cast<IpRouter*>(&a)) {
+      if (auto* hb = dynamic_cast<IpHost*>(&b)) {
+        ra->add_connected(hb->address(), pa);
+      }
+    }
+    if (auto* rb = dynamic_cast<IpRouter*>(&b)) {
+      if (auto* ha = dynamic_cast<IpHost*>(&a)) {
+        rb->add_connected(ha->address(), pb);
+      }
+    }
+  }
+
+  /// Starts distance-vector routing on every router, with per-router
+  /// timer phases (synchronized periodic timers are unrealistic and make
+  /// reconvergence look instantaneous).
+  void enable_dv(DvConfig config = {}) {
+    const std::size_t n = std::max<std::size_t>(routers_.size(), 1);
+    for (std::size_t i = 0; i < routers_.size(); ++i) {
+      const sim::Time phase =
+          static_cast<sim::Time>(i) * config.period / static_cast<sim::Time>(n);
+      dv_.push_back(
+          std::make_unique<DvRouting>(sim_, *routers_[i], config, phase));
+    }
+  }
+
+  void fail_link(net::PortedNode& a, net::PortedNode& b) {
+    set_link(a, b, false);
+  }
+  void restore_link(net::PortedNode& a, net::PortedNode& b) {
+    set_link(a, b, true);
+  }
+
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<DvRouting>>& dv() const {
+    return dv_;
+  }
+
+ private:
+  struct LinkRecord {
+    net::PortedNode* a;
+    net::PortedNode* b;
+    int port_a;
+    int port_b;
+  };
+
+  void set_link(net::PortedNode& a, net::PortedNode& b, bool up) {
+    for (auto& record : links_) {
+      if ((record.a == &a && record.b == &b) ||
+          (record.a == &b && record.b == &a)) {
+        record.a->port(record.port_a).set_up(up);
+        record.b->port(record.port_b).set_up(up);
+        return;
+      }
+    }
+    throw std::invalid_argument("IpFabric: no such link");
+  }
+
+  sim::Simulator& sim_;
+  net::Network net_;
+  std::vector<IpHost*> hosts_;
+  std::vector<IpRouter*> routers_;
+  std::vector<LinkRecord> links_;
+  std::vector<std::unique_ptr<DvRouting>> dv_;
+};
+
+}  // namespace srp::ip

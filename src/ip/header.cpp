@@ -1,0 +1,78 @@
+#include "ip/header.hpp"
+
+#include "wire/checksum.hpp"
+
+namespace srp::ip {
+
+wire::Bytes encode_ip_packet(IpHeader header,
+                             std::span<const std::uint8_t> payload) {
+  header.total_length =
+      static_cast<std::uint16_t>(IpHeader::kWireSize + payload.size());
+  wire::Writer w(header.total_length);
+  w.u8(0x45);  // version 4, IHL 5 (no options)
+  w.u8(header.tos);
+  w.u16(header.total_length);
+  w.u16(header.id);
+  w.u16(header.flags_frag);
+  w.u8(header.ttl);
+  w.u8(header.protocol);
+  const std::size_t checksum_offset = w.size();
+  w.u16(0);
+  w.u32(header.src);
+  w.u32(header.dst);
+  wire::Bytes bytes = std::move(w).take();
+  const std::uint16_t checksum = wire::internet_checksum(
+      std::span(bytes).first(IpHeader::kWireSize));
+  bytes[checksum_offset] = static_cast<std::uint8_t>(checksum >> 8);
+  bytes[checksum_offset + 1] = static_cast<std::uint8_t>(checksum);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+std::optional<IpPacketView> decode_ip_packet(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < IpHeader::kWireSize) return std::nullopt;
+  if (!wire::internet_checksum_ok(bytes.first(IpHeader::kWireSize))) {
+    return std::nullopt;
+  }
+  wire::Reader r(bytes);
+  if (r.u8() != 0x45) return std::nullopt;
+  IpPacketView view;
+  IpHeader& h = view.header;
+  h.tos = r.u8();
+  h.total_length = r.u16();
+  h.id = r.u16();
+  h.flags_frag = r.u16();
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  h.checksum = r.u16();
+  h.src = r.u32();
+  h.dst = r.u32();
+  if (h.total_length < IpHeader::kWireSize || h.total_length > bytes.size()) {
+    return std::nullopt;
+  }
+  view.payload = bytes.subspan(IpHeader::kWireSize,
+                               h.total_length - IpHeader::kWireSize);
+  return view;
+}
+
+bool decrement_ttl_in_place(wire::Bytes& packet_bytes) {
+  // TTL is byte 8; checksum is bytes 10..11; TTL shares a 16-bit word with
+  // the protocol field (bytes 8..9).
+  const std::uint8_t ttl = packet_bytes[8];
+  if (ttl <= 1) return false;
+  const std::uint16_t old_word =
+      static_cast<std::uint16_t>(packet_bytes[8] << 8) | packet_bytes[9];
+  packet_bytes[8] = ttl - 1;
+  const std::uint16_t new_word =
+      static_cast<std::uint16_t>(packet_bytes[8] << 8) | packet_bytes[9];
+  const std::uint16_t old_checksum =
+      static_cast<std::uint16_t>(packet_bytes[10] << 8) | packet_bytes[11];
+  const std::uint16_t new_checksum =
+      wire::checksum_update16(old_checksum, old_word, new_word);
+  packet_bytes[10] = static_cast<std::uint8_t>(new_checksum >> 8);
+  packet_bytes[11] = static_cast<std::uint8_t>(new_checksum);
+  return true;
+}
+
+}  // namespace srp::ip

@@ -1,0 +1,71 @@
+// IPv4-style header for the "universal internetwork datagram" baseline.
+//
+// This is the design the paper argues against: "each router must ...
+// determine the next hop of the route from the destination address, update
+// the Time To Live (TTL) field, possibly fragment the packet and update
+// the header checksum before sending on the packet."  All four costs are
+// implemented so the benches can charge them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "wire/buffer.hpp"
+
+namespace srp::ip {
+
+using Addr = std::uint32_t;
+
+inline constexpr std::uint8_t kProtoVmtp = 81;   ///< transport over IP
+inline constexpr std::uint8_t kProtoRip = 120;   ///< distance-vector updates
+inline constexpr Addr kBroadcast = 0xFFFFFFFFu;
+
+inline constexpr std::uint16_t kFlagMoreFragments = 0x2000;
+inline constexpr std::uint16_t kFragOffsetMask = 0x1FFF;
+
+struct IpHeader {
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  ///< header + payload
+  std::uint16_t id = 0;
+  std::uint16_t flags_frag = 0;    ///< MF flag + offset in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;
+  Addr src = 0;
+  Addr dst = 0;
+
+  static constexpr std::size_t kWireSize = 20;
+
+  [[nodiscard]] bool more_fragments() const {
+    return (flags_frag & kFlagMoreFragments) != 0;
+  }
+  [[nodiscard]] std::size_t frag_offset_bytes() const {
+    return static_cast<std::size_t>(flags_frag & kFragOffsetMask) * 8;
+  }
+  [[nodiscard]] bool is_fragment() const {
+    return more_fragments() || frag_offset_bytes() != 0;
+  }
+
+  bool operator==(const IpHeader&) const = default;
+};
+
+/// Encodes header + payload; fills in total_length and checksum.
+wire::Bytes encode_ip_packet(IpHeader header,
+                             std::span<const std::uint8_t> payload);
+
+struct IpPacketView {
+  IpHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Decodes and verifies the header checksum; nullopt on damage.
+std::optional<IpPacketView> decode_ip_packet(
+    std::span<const std::uint8_t> bytes);
+
+/// The per-hop rewrite: decrement TTL in place and incrementally update
+/// the stored checksum (RFC 1624), exactly the work an IP router performs.
+/// Returns false when TTL hit zero (drop the packet).
+bool decrement_ttl_in_place(wire::Bytes& packet_bytes);
+
+}  // namespace srp::ip

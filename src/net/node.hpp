@@ -1,0 +1,42 @@
+// Node and arrival interfaces for the simulated forwarding plane.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace srp::net {
+
+/// Delivery of a packet to a node.  The callback fires at `head` (first-bit
+/// arrival), carrying `tail` (last-bit arrival) so the receiver can choose
+/// cut-through (act once the header portion is in) or store-and-forward
+/// (schedule itself at `tail`).  `rate_bps` is the incoming link rate; the
+/// paper permits cut-through only when input and output rates match.
+struct Arrival {
+  PacketPtr packet;
+  int in_port = 0;          ///< receiving node's port the packet came in on
+  sim::Time head = 0;       ///< first-bit arrival time (== now at delivery)
+  sim::Time tail = 0;       ///< last-bit arrival time
+  double rate_bps = 0.0;    ///< incoming link rate
+};
+
+/// Anything attached to the network: routers, hosts, LAN segments.
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] std::string_view name() const { return name_; }
+
+  /// Called at first-bit arrival time.
+  virtual void on_arrival(const Arrival& arrival) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace srp::net

@@ -1,0 +1,143 @@
+// Output port: the transmitter end of a simplex link.
+//
+// Implements the paper's blocked-packet semantics: a packet that finds the
+// port busy is *saved* on a priority queue, *dropped* (drop-if-blocked type
+// of service), or — for VIPER priorities 6/7 — *preempts* the transmission
+// in progress, which is aborted mid-packet and arrives truncated at the
+// peer.  Queue order is by priority rank, FIFO within a rank.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace srp::net {
+
+/// Static parameters of a simplex link.
+struct LinkConfig {
+  double rate_bps = 1e9;                   ///< serialization rate
+  sim::Time prop_delay = sim::kMicrosecond;  ///< one-way propagation
+  std::size_t mtu_bytes = 1500;            ///< maximum transmission unit
+};
+
+/// Per-transmission scheduling directives, distilled from the packet's
+/// type-of-service by the owning router (protocol-agnostic here).
+struct TxMeta {
+  int rank = 0;                  ///< higher rank is served first
+  bool preempting = false;       ///< may abort a lower-rank transmission
+  bool drop_if_blocked = false;  ///< paper's "drop" blocked-packet policy
+};
+
+/// Transmitter of one simplex channel, with a bounded priority queue.
+class TxPort {
+ public:
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t sent = 0;              ///< completed transmissions
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t dropped_blocked = 0;   ///< drop-if-blocked while busy
+    std::uint64_t dropped_full = 0;      ///< buffer exhausted
+    std::uint64_t deflected = 0;         ///< taken by the overflow handler
+    std::uint64_t dropped_down = 0;      ///< link was down
+    std::uint64_t dropped_injected = 0;  ///< loss injection (tests/benches)
+    std::uint64_t preempt_aborts = 0;    ///< transmissions we aborted
+    sim::Time busy_time = 0;             ///< cumulative transmitting time
+  };
+
+  struct Queued {
+    PacketPtr packet;
+    TxMeta meta;
+    sim::Time enqueue_time = 0;
+    sim::Time earliest_start = 0;  ///< cut-through causality bound
+  };
+
+  TxPort(sim::Simulator& sim, std::string name, LinkConfig config);
+
+  /// Points this transmitter at its receiver.
+  void connect(Node* peer, int peer_in_port);
+
+  /// Hands a packet to the port.  `earliest_start` lets a cut-through
+  /// router forbid transmission before the header has actually arrived.
+  void enqueue(PacketPtr packet, TxMeta meta, sim::Time earliest_start = 0);
+
+  /// Bounds the queue in bytes (the paper's "output buffer space").
+  /// Unlimited by default.
+  void set_buffer_limit(std::size_t bytes);
+
+  /// Link failure injection: a down link drops everything handed to it and
+  /// aborts the transmission in progress.
+  void set_up(bool up);
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  [[nodiscard]] bool busy() const { return transmitting_; }
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Node* peer() const { return peer_; }
+  [[nodiscard]] int peer_in_port() const { return peer_in_port_; }
+
+  /// Queue introspection — congestion control reads the source routes of
+  /// waiting packets to identify upstream feeders (paper §2.2).
+  [[nodiscard]] const std::deque<Queued>& queue() const { return queue_; }
+  [[nodiscard]] std::size_t queue_bytes() const { return queue_bytes_; }
+  [[nodiscard]] std::size_t queue_packets() const { return queue_.size(); }
+
+  /// Loss injection for tests and failure benches: a packet for which this
+  /// returns true is silently discarded instead of transmitted.
+  std::function<bool(const Packet&)> drop_filter;
+
+  /// Alternative to dropping on buffer exhaustion (the paper's Blazenet-
+  /// style deferral: "looping it back to a previous node ... or entering
+  /// it into a local delay line").  Return true if the packet was taken;
+  /// false falls through to the normal drop.
+  std::function<bool(PacketPtr, TxMeta)> overflow_handler;
+
+  /// Observation hooks for the congestion controller / stats collectors.
+  /// Called after a packet is accepted, and after each departure.
+  std::function<void(const Packet&)> on_enqueue;
+  std::function<void(const Packet&)> on_depart;
+  /// Called when the queue length changes (for time-weighted averages).
+  std::function<void(sim::Time, std::size_t queued_packets)> on_queue_change;
+
+  /// Serialization time of @p bytes on this link.
+  [[nodiscard]] sim::Time tx_time(std::size_t bytes) const {
+    return sim::byte_time(bytes, config_.rate_bps);
+  }
+
+ private:
+  void try_start(sim::Time not_before);
+  void start_transmission(Queued item, sim::Time start);
+  void complete_transmission();
+  void abort_transmission();
+  void insert_by_rank(Queued item);
+  void notify_queue_change();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  LinkConfig config_;
+  Node* peer_ = nullptr;
+  int peer_in_port_ = 0;
+  bool up_ = true;
+
+  std::deque<Queued> queue_;
+  std::size_t queue_bytes_ = 0;
+  std::size_t buffer_limit_ = std::numeric_limits<std::size_t>::max();
+
+  bool transmitting_ = false;
+  Queued current_;
+  sim::Time current_start_ = 0;
+  sim::Time current_end_ = 0;
+  sim::EventId completion_event_ = 0;
+  sim::EventId wakeup_event_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace srp::net

@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace srp::sim {
+
+EventId EventQueue::schedule(Time when, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) { pending_.erase(id); }
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? kTimeInfinity : heap_.top().when;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  // std::priority_queue::top() returns a const ref; the Entry is moved out
+  // via const_cast because the immediately following pop() discards it.
+  auto& top = const_cast<Entry&>(heap_.top());
+  std::pair<Time, Callback> out{top.when, std::move(top.cb)};
+  pending_.erase(top.id);
+  heap_.pop();
+  return out;
+}
+
+}  // namespace srp::sim

@@ -1,0 +1,67 @@
+// Pending-event set for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace srp::sim {
+
+/// Opaque handle identifying a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+/// Min-heap of timestamped callbacks with stable FIFO ordering among
+/// events scheduled for the same instant (ties break on insertion order,
+/// which keeps runs deterministic).
+///
+/// Cancellation is lazy: a cancelled event stays in the heap but is skipped
+/// when it reaches the top.  schedule/pop are O(log n), cancel is O(1).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules @p cb to run at @p when.  Returns a handle for cancel().
+  EventId schedule(Time when, Callback cb);
+
+  /// Cancels a previously scheduled event.  Cancelling an event that has
+  /// already run (or was already cancelled) is a harmless no-op.
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  /// Number of live events still pending.
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  [[nodiscard]] Time next_time() const;
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  std::pair<Time, Callback> pop();
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.when != b.when ? a.when > b.when : a.id > b.id;
+    }
+  };
+
+  /// Pops heap entries whose ids are no longer pending (i.e. cancelled).
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;  // ids scheduled and not yet run
+  EventId next_id_ = 1;
+};
+
+}  // namespace srp::sim

@@ -1,0 +1,53 @@
+// Simulated time for the Sirpent discrete-event substrate.
+//
+// Time is an integer count of picoseconds.  Picosecond resolution lets us
+// represent single-bit serialization times on multi-gigabit links exactly
+// (1 bit at 10 Gb/s = 100 ps) while still covering ~106 days of simulated
+// time in a signed 64-bit integer — far more than any experiment here runs.
+#pragma once
+
+#include <cstdint>
+
+namespace srp::sim {
+
+/// Simulated time in picoseconds since the start of the run.
+using Time = std::int64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1'000 * kPicosecond;
+inline constexpr Time kMicrosecond = 1'000 * kNanosecond;
+inline constexpr Time kMillisecond = 1'000 * kMicrosecond;
+inline constexpr Time kSecond = 1'000 * kMillisecond;
+
+/// A Time value that compares after every real event time.
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+/// Serialization time of @p bits at @p bits_per_second, rounded up to the
+/// next picosecond so a transmission never finishes "early".
+constexpr Time transmission_time(std::uint64_t bits, double bits_per_second) {
+  if (bits == 0) return 0;
+  const double ps = static_cast<double>(bits) * 1e12 / bits_per_second;
+  const auto t = static_cast<Time>(ps);
+  return (static_cast<double>(t) < ps) ? t + 1 : t;
+}
+
+/// Serialization time of @p bytes (octets) at @p bits_per_second.
+constexpr Time byte_time(std::uint64_t bytes, double bits_per_second) {
+  return transmission_time(bytes * 8, bits_per_second);
+}
+
+/// Time expressed as (possibly fractional) seconds, for reporting.
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e12; }
+
+/// Time expressed as microseconds, for reporting.
+constexpr double to_micros(Time t) { return static_cast<double>(t) / 1e6; }
+
+/// Time expressed as milliseconds, for reporting.
+constexpr double to_millis(Time t) { return static_cast<double>(t) / 1e9; }
+
+/// Seconds (as a double) converted to simulated Time.
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * 1e12);
+}
+
+}  // namespace srp::sim

@@ -1,0 +1,20 @@
+#include "sim/trace.hpp"
+
+namespace srp::sim {
+
+void Trace::emit(Time when, std::string_view component,
+                 std::string_view message) {
+  if (!enabled_) return;
+  records_.push_back(
+      TraceRecord{when, std::string(component), std::string(message)});
+}
+
+std::size_t Trace::count_containing(std::string_view needle) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+}  // namespace srp::sim

@@ -1,0 +1,43 @@
+// Lightweight event tracing for debugging simulations and asserting
+// event orderings in tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace srp::sim {
+
+/// One trace record: (time, component, message).
+struct TraceRecord {
+  Time when;
+  std::string component;
+  std::string message;
+};
+
+/// Collects trace records; disabled by default so the hot path costs one
+/// branch.  Tests enable it and assert on the captured sequence.
+class Trace {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void emit(Time when, std::string_view component, std::string_view message);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+  /// Number of records whose message contains @p needle.
+  [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace srp::sim

@@ -1,0 +1,64 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace srp::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: invalid range or bin count");
+  }
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto i = static_cast<std::size_t>((x - lo_) / bin_width_);
+  i = std::min(i, counts_.size() - 1);
+  counts_[i] += weight;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_low(i) + bin_width_ > x) break;
+    acc += counts_[i];
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out << "[" << bin_low(i) << ", " << bin_low(i) + bin_width_ << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ || overflow_) {
+    out << "underflow=" << underflow_ << " overflow=" << overflow_ << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace srp::stats

@@ -1,0 +1,39 @@
+// Fixed-bin histogram for distribution shapes (queue lengths, delays).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srp::stats {
+
+/// Linear-bin histogram over [lo, hi); samples outside the range land in
+/// saturating under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const {
+    return counts_[i];
+  }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// Fraction of samples at or below @p x (empirical CDF, bin resolution).
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Multi-line ASCII rendering (for bench output / debugging).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace srp::stats

@@ -1,0 +1,55 @@
+#include "stats/queueing.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace srp::stats {
+namespace {
+
+void check_rho(double rho) {
+  if (rho < 0.0) throw std::invalid_argument("utilization < 0");
+}
+
+double guard(double rho) {
+  return rho >= 1.0 ? std::numeric_limits<double>::infinity() : rho;
+}
+
+}  // namespace
+
+double md1_mean_in_system(double rho) {
+  check_rho(rho);
+  if (guard(rho) >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho + rho * rho / (2.0 * (1.0 - rho));
+}
+
+double md1_mean_in_queue(double rho) {
+  check_rho(rho);
+  if (guard(rho) >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho * rho / (2.0 * (1.0 - rho));
+}
+
+double md1_mean_wait_service_units(double rho) {
+  check_rho(rho);
+  if (guard(rho) >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho / (2.0 * (1.0 - rho));
+}
+
+double mm1_mean_in_system(double rho) {
+  check_rho(rho);
+  if (guard(rho) >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho / (1.0 - rho);
+}
+
+double mm1_mean_wait_service_units(double rho) {
+  check_rho(rho);
+  if (guard(rho) >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho / (1.0 - rho);
+}
+
+double mg1_mean_wait_service_units(double rho, double cv) {
+  check_rho(rho);
+  if (guard(rho) >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho * (1.0 + cv * cv) / (2.0 * (1.0 - rho));
+}
+
+}  // namespace srp::stats

@@ -1,0 +1,35 @@
+// Analytic queueing formulas from the paper's Section 6.1.
+//
+// The paper sizes Sirpent's blocking delay with an M/D/1 model: "with
+// reasonable load (up to about 70 percent utilization), M/D/1 modeling of
+// the queue suggests an average queue length of approximately one packet or
+// less" and "the average queuing delay is then approximately the
+// transmission time for half of an average packet".  bench_queueing checks
+// the simulated forwarding plane against these closed forms.
+#pragma once
+
+namespace srp::stats {
+
+/// Mean number in system (waiting + in service) for M/D/1 at utilization
+/// @p rho in [0,1):  L = rho + rho^2 / (2 (1 - rho))   (Pollaczek–Khinchine
+/// with zero service variance).
+double md1_mean_in_system(double rho);
+
+/// Mean number waiting in queue (excluding the packet in service).
+double md1_mean_in_queue(double rho);
+
+/// Mean waiting time (before service starts) in units of one service time:
+/// Wq = rho / (2 (1 - rho)).
+double md1_mean_wait_service_units(double rho);
+
+/// M/M/1 mean number in system: rho / (1 - rho); baseline comparison.
+double mm1_mean_in_system(double rho);
+
+/// M/M/1 mean wait in service-time units: rho / (1 - rho).
+double mm1_mean_wait_service_units(double rho);
+
+/// M/G/1 mean wait (service-time units) for service-time coefficient of
+/// variation @p cv (cv = stddev / mean): Wq = rho (1 + cv^2) / (2 (1-rho)).
+double mg1_mean_wait_service_units(double rho, double cv);
+
+}  // namespace srp::stats

@@ -1,0 +1,39 @@
+#include "stats/summary.hpp"
+
+namespace srp::stats {
+
+double Samples::percentile(double p) {
+  if (data_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+  if (p <= 0) return data_.front();
+  if (p >= 100) return data_.back();
+  const double rank = p / 100.0 * static_cast<double>(data_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= data_.size()) return data_.back();
+  return data_[lo] * (1.0 - frac) + data_[lo + 1] * frac;
+}
+
+void TimeWeighted::update(double t, double value) {
+  if (started_ && t > last_t_) {
+    weighted_sum_ += last_value_ * (t - last_t_);
+    total_time_ += t - last_t_;
+  }
+  started_ = true;
+  last_t_ = t;
+  last_value_ = value;
+  max_value_ = std::max(max_value_, value);
+}
+
+void TimeWeighted::finish(double t_end) {
+  if (started_ && t_end > last_t_) {
+    weighted_sum_ += last_value_ * (t_end - last_t_);
+    total_time_ += t_end - last_t_;
+    last_t_ = t_end;
+  }
+}
+
+}  // namespace srp::stats

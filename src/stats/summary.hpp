@@ -1,0 +1,97 @@
+// Streaming scalar statistics used by every experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace srp::stats {
+
+/// Streaming mean/variance/min/max via Welford's algorithm — O(1) memory,
+/// numerically stable for the long runs the congestion benches do.
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores every sample for exact percentiles; used where sample counts are
+/// modest (latency distributions per experiment cell).
+class Samples {
+ public:
+  void add(double x) {
+    data_.push_back(x);
+    sorted_ = false;
+    summary_.add(x);
+  }
+
+  [[nodiscard]] const Summary& summary() const { return summary_; }
+  [[nodiscard]] std::uint64_t count() const { return summary_.count(); }
+  [[nodiscard]] double mean() const { return summary_.mean(); }
+
+  /// Exact percentile by linear interpolation; @p p in [0, 100].
+  [[nodiscard]] double percentile(double p);
+
+  [[nodiscard]] double median() { return percentile(50.0); }
+  [[nodiscard]] double p99() { return percentile(99.0); }
+
+ private:
+  std::vector<double> data_;
+  Summary summary_;
+  bool sorted_ = false;
+};
+
+/// Time-weighted average of a step function (e.g. queue length over time).
+/// Call update(t, value) at every change; the value holds until the next
+/// update.  finish(t_end) closes the last interval.
+class TimeWeighted {
+ public:
+  void update(double t, double value);
+  void finish(double t_end);
+
+  [[nodiscard]] double average() const {
+    return total_time_ > 0 ? weighted_sum_ / total_time_ : 0.0;
+  }
+  [[nodiscard]] double max_value() const { return max_value_; }
+
+ private:
+  bool started_ = false;
+  double last_t_ = 0.0;
+  double last_value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+  double max_value_ = 0.0;
+};
+
+}  // namespace srp::stats

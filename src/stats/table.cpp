@@ -1,0 +1,70 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace srp::stats {
+
+Table& Table::columns(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::note(std::string text) {
+  notes_.push_back(std::move(text));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& out,
+                      const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit_row(out, header_);
+    out << "|";
+    for (auto w : widths) out << std::string(w + 2, '-') << "|";
+    out << "\n";
+  }
+  for (const auto& r : rows_) emit_row(out, r);
+  for (const auto& n : notes_) out << "  " << n << "\n";
+  return out.str();
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace srp::stats

@@ -1,0 +1,34 @@
+// ASCII table printer — every bench prints its paper-table reproduction
+// through this so EXPERIMENTS.md rows can be pasted verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace srp::stats {
+
+/// Column-aligned ASCII table with an optional title and per-table notes
+/// (used for the "paper:" annotation lines giving the published value).
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> names);
+  Table& row(std::vector<std::string> cells);
+  Table& note(std::string text);
+
+  /// Formats a double with @p precision significant decimal places.
+  static std::string num(double v, int precision = 3);
+
+  [[nodiscard]] std::string render() const;
+  /// render() to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace srp::stats

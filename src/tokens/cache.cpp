@@ -1,0 +1,45 @@
+#include "tokens/cache.hpp"
+
+namespace srp::tokens {
+
+TokenCache::Entry* TokenCache::find(std::span<const std::uint8_t> token) {
+  const auto it = entries_.find(key_of(token));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  ++it->second.hits;
+  return &it->second;
+}
+
+TokenCache::Entry& TokenCache::store(std::span<const std::uint8_t> token,
+                                     std::optional<TokenBody> body) {
+  Entry& e = entries_[key_of(token)];
+  if (body.has_value()) {
+    e.valid = true;
+    e.flagged = false;
+    e.body = *body;
+  } else {
+    e.valid = false;
+    e.flagged = true;
+  }
+  return e;
+}
+
+bool TokenCache::charge(Entry& entry, std::uint64_t bytes, Ledger& ledger) {
+  if (entry.flagged) {
+    ++stats_.flagged_rejects;
+    return false;
+  }
+  if (entry.body.byte_limit != 0 &&
+      entry.bytes_charged + bytes > entry.body.byte_limit) {
+    ++stats_.limit_rejects;
+    return false;
+  }
+  entry.bytes_charged += bytes;
+  ledger.charge(entry.body.account, bytes);
+  return true;
+}
+
+}  // namespace srp::tokens

@@ -1,0 +1,103 @@
+// Router-side token cache and accounting (paper §2.1–2.2).
+//
+// "Because the token is an encrypted capability that may be difficult to
+// fully decrypt and check in real time before the packet is forwarded, the
+// router retains a cached version of the token such that it can check and
+// authorize packet forwarding in real time from the cached version."
+// Cache entries are keyed by a hash of the encrypted value, hold the
+// decoded authorization, are flagged on invalid tokens ("subsequent packets
+// using this token are then blocked"), and accumulate the per-account
+// packet/byte counts the paper charges through them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "crypto/siphash.hpp"
+#include "tokens/token.hpp"
+
+namespace srp::tokens {
+
+/// Uncached-token handling policies (paper §2.1): optimistic forwards the
+/// first packet while verification completes; blocking holds the packet for
+/// the verification time; drop discards it.
+enum class UncachedPolicy { kOptimistic, kBlocking, kDrop };
+
+/// Per-account usage totals.
+struct AccountUsage {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Accounting ledger: account id -> usage.  Shared by the routers of one
+/// administrative domain.
+class Ledger {
+ public:
+  void charge(std::uint32_t account, std::uint64_t bytes) {
+    auto& u = usage_[account];
+    ++u.packets;
+    u.bytes += bytes;
+  }
+
+  [[nodiscard]] AccountUsage usage(std::uint32_t account) const {
+    const auto it = usage_.find(account);
+    return it == usage_.end() ? AccountUsage{} : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::uint32_t, AccountUsage>& all() const {
+    return usage_;
+  }
+
+ private:
+  std::map<std::uint32_t, AccountUsage> usage_;
+};
+
+/// One router's token cache.
+class TokenCache {
+ public:
+  struct Entry {
+    bool valid = false;      ///< token verified good
+    bool flagged = false;    ///< token verified *bad*: block its users
+    TokenBody body;          ///< meaningful only when valid
+    std::uint64_t bytes_charged = 0;  ///< against body.byte_limit
+    std::uint64_t hits = 0;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t flagged_rejects = 0;
+    std::uint64_t limit_rejects = 0;
+  };
+
+  /// Cache key: hash of the encrypted token bytes (paper: "using the
+  /// encrypted value as the key").
+  static std::uint64_t key_of(std::span<const std::uint8_t> token) {
+    return crypto::siphash24({0x53697270656e7421ULL, 0x5669706572546f6bULL},
+                             token);
+  }
+
+  /// Looks up a token; counts hit/miss.
+  Entry* find(std::span<const std::uint8_t> token);
+
+  /// Records the outcome of a (slow) verification.  nullopt body = invalid
+  /// token: the entry is flagged so subsequent users are blocked.
+  Entry& store(std::span<const std::uint8_t> token,
+               std::optional<TokenBody> body);
+
+  /// Charges @p bytes against the entry and its account.  Returns false
+  /// when the token's byte limit is exhausted (reject the packet).
+  bool charge(Entry& entry, std::uint64_t bytes, Ledger& ledger);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace srp::tokens

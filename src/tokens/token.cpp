@@ -1,0 +1,93 @@
+#include "tokens/token.hpp"
+
+namespace srp::tokens {
+namespace {
+
+// Fixed 31-byte plaintext layout (padded to 32 by XTEA-CBC).
+wire::Bytes encode_body(const TokenBody& b) {
+  wire::Writer w(32);
+  w.u64(b.serial);
+  w.u32(b.router_id);
+  w.u8(b.port);
+  w.u8(b.max_priority);
+  w.u8(b.reverse_ok ? 1 : 0);
+  w.u32(b.account);
+  w.u64(b.byte_limit);
+  w.u32(b.expiry_sec);
+  return std::move(w).take();
+}
+
+TokenBody decode_body(std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  TokenBody b;
+  b.serial = r.u64();
+  b.router_id = r.u32();
+  b.port = r.u8();
+  b.max_priority = r.u8();
+  b.reverse_ok = r.u8() != 0;
+  b.account = r.u32();
+  b.byte_limit = r.u64();
+  b.expiry_sec = r.u32();
+  return b;
+}
+
+std::uint64_t derive(std::uint64_t secret, std::uint32_t router_id,
+                     std::uint64_t purpose) {
+  // SipHash as a KDF over (router_id, purpose) under the master secret.
+  std::uint8_t msg[12];
+  for (int i = 0; i < 4; ++i) {
+    msg[i] = static_cast<std::uint8_t>(router_id >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    msg[4 + i] = static_cast<std::uint8_t>(purpose >> (8 * i));
+  }
+  return crypto::siphash24({secret, ~secret}, msg);
+}
+
+}  // namespace
+
+crypto::XteaKey TokenAuthority::cipher_key(std::uint32_t router_id) const {
+  const std::uint64_t a = derive(master_secret_, router_id, 1);
+  const std::uint64_t b = derive(master_secret_, router_id, 2);
+  return crypto::XteaKey{
+      static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(a >> 32),
+      static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(b >> 32)};
+}
+
+crypto::SipKey TokenAuthority::mac_key(std::uint32_t router_id) const {
+  return crypto::SipKey{derive(master_secret_, router_id, 3),
+                        derive(master_secret_, router_id, 4)};
+}
+
+wire::Bytes TokenAuthority::mint(TokenBody body) {
+  body.serial = next_serial_++;
+  auto cipher = crypto::xtea_cbc_encrypt(cipher_key(body.router_id),
+                                         encode_body(body));
+  const std::uint64_t mac = crypto::siphash24(mac_key(body.router_id), cipher);
+  wire::Writer w(kTokenWireSize);
+  w.bytes(cipher);
+  w.u64(mac);
+  return std::move(w).take();
+}
+
+std::optional<TokenBody> TokenAuthority::open(
+    std::uint32_t router_id, std::span<const std::uint8_t> token) const {
+  if (token.size() != kTokenWireSize) return std::nullopt;
+  const auto cipher = token.first(32);
+  wire::Reader mac_reader(token.subspan(32));
+  const std::uint64_t mac = mac_reader.u64();
+  if (crypto::siphash24(mac_key(router_id), cipher) != mac) {
+    return std::nullopt;
+  }
+  const auto plain = crypto::xtea_cbc_decrypt(cipher_key(router_id), cipher);
+  TokenBody body;
+  try {
+    body = decode_body(plain);
+  } catch (const wire::CodecError&) {
+    return std::nullopt;
+  }
+  if (body.router_id != router_id) return std::nullopt;
+  return body;
+}
+
+}  // namespace srp::tokens

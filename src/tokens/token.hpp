@@ -1,0 +1,69 @@
+// Port tokens: encrypted capabilities for authorization and accounting
+// (paper §2.2).
+//
+// "Each token is an encrypted (difficult-to-forge) capability that
+// identifies the port and type of service that it authorizes, the account
+// to which usage is to be charged, optionally a limit on resource usage
+// authorized by this token, and whether reverse route charging is
+// authorized."
+//
+// Wire form: XTEA-CBC ciphertext of the fixed-size body, followed by a
+// SipHash-2-4 MAC over the ciphertext.  Keys are derived per router id by
+// the administrative domain's TokenAuthority, so a token minted for router
+// R verifies only at R.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/siphash.hpp"
+#include "crypto/xtea.hpp"
+#include "wire/buffer.hpp"
+
+namespace srp::tokens {
+
+/// Decrypted token contents.
+struct TokenBody {
+  std::uint64_t serial = 0;      ///< unique per mint; randomizes ciphertext
+  std::uint32_t router_id = 0;   ///< router this token is valid at
+  std::uint8_t port = 0;         ///< output port it authorizes
+  std::uint8_t max_priority = 0; ///< highest priority it authorizes (rank)
+  bool reverse_ok = false;       ///< authorizes the return route too
+  std::uint32_t account = 0;     ///< account charged for usage
+  std::uint64_t byte_limit = 0;  ///< 0 = unlimited
+  std::uint32_t expiry_sec = 0;  ///< sim-seconds; 0 = no expiry
+
+  bool operator==(const TokenBody&) const = default;
+};
+
+/// Encrypted token size on the wire: 32-byte ciphertext + 8-byte MAC.
+inline constexpr std::size_t kTokenWireSize = 40;
+
+/// Mints and opens tokens for every router in one administrative domain.
+/// The directory service holds one of these per region (paper §3: tokens
+/// "are provided by the routing directory servers at the time that the
+/// source determines the route").
+class TokenAuthority {
+ public:
+  explicit TokenAuthority(std::uint64_t master_secret)
+      : master_secret_(master_secret) {}
+
+  /// Encrypts and MACs @p body; assigns the next serial number.
+  wire::Bytes mint(TokenBody body);
+
+  /// Decrypts and verifies a token for @p router_id.  Returns nullopt on
+  /// MAC failure, malformed size, or router-id mismatch — the paper's
+  /// "if the token is invalid".
+  [[nodiscard]] std::optional<TokenBody> open(
+      std::uint32_t router_id, std::span<const std::uint8_t> token) const;
+
+ private:
+  [[nodiscard]] crypto::XteaKey cipher_key(std::uint32_t router_id) const;
+  [[nodiscard]] crypto::SipKey mac_key(std::uint32_t router_id) const;
+
+  std::uint64_t master_secret_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace srp::tokens

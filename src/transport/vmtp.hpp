@@ -1,0 +1,205 @@
+// VMTP-style request/response transport over Sirpent (paper §4).
+//
+// Implements the transport functions the paper relocates out of the
+// internetwork layer:
+//   * misdelivery detection via 64-bit entity ids "unique independent of
+//     the (inter)network layer addressing" (§4.1),
+//   * maximum-packet-lifetime enforcement via creation timestamps and
+//     roughly synchronized clocks, replacing IP's TTL (§4.2),
+//   * large logical packets as *packet groups* with rate-based pacing
+//     between packets and selective retransmission, replacing
+//     fragmentation/reassembly (§4.3).
+//
+// Responses travel on the return route recovered from the request packet's
+// trailer, exercising Sirpent's core mechanism end to end.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "congestion/throttle.hpp"
+#include "directory/routes.hpp"
+#include "sim/simulator.hpp"
+#include "transport/header.hpp"
+#include "transport/timestamp.hpp"
+#include "viper/host.hpp"
+
+namespace srp::vmtp {
+
+struct VmtpConfig {
+  /// Data bytes per packet ("roughly 1 kilobyte transport packet", §5).
+  std::size_t max_data_per_packet = 1024;
+  /// Packets per packet group.
+  std::size_t max_group = 16;
+  /// Pacing rate between packets of a group; 0 = unpaced.
+  double send_rate_bps = 0.0;
+  /// Initial / minimum retransmission timeout.
+  sim::Time min_rto = 2 * sim::kMillisecond;
+  /// Gap timeout: partial group triggers a selective NACK after this.
+  sim::Time gap_timeout = sim::kMillisecond;
+  int max_retries = 5;
+  /// Maximum acceptable packet age (§4.2); generous by default.
+  std::int64_t mpl_ms = 30'000;
+  /// Clock-skew tolerance for packets stamped "in the future".
+  std::int64_t future_skew_ms = 5'000;
+  /// This host's clock offset from true time (skew injection).
+  sim::Time clock_offset = 0;
+  std::uint8_t priority = 0;
+};
+
+/// Outcome handed to the invoke() callback.
+struct Result {
+  bool ok = false;
+  wire::Bytes response;
+  sim::Time rtt = 0;
+  int retransmissions = 0;
+  std::string error;  ///< empty on success
+};
+
+class VmtpEndpoint {
+ public:
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t responses_received = 0;
+    std::uint64_t requests_served = 0;
+    std::uint64_t data_packets_sent = 0;
+    std::uint64_t retransmitted_packets = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t nacks_received = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t failures = 0;       ///< transactions abandoned
+    std::uint64_t mpl_discards = 0;   ///< too-old packets rejected
+    std::uint64_t checksum_drops = 0;
+    std::uint64_t misdeliveries = 0;  ///< wrong dst_entity
+    std::uint64_t duplicate_requests = 0;
+  };
+
+  using RequestHandler = std::function<wire::Bytes(
+      std::span<const std::uint8_t> request, const viper::Delivery& from)>;
+  using ResponseCallback = std::function<void(Result)>;
+  /// Invoked on hard transaction failure so the caller can tell its
+  /// RouteCache (dir::RouteCache::report_failure) and retry elsewhere.
+  using FailureHook = std::function<void()>;
+  /// Invoked with each successful RTT sample (for RouteCache::report_rtt).
+  using RttHook = std::function<void(sim::Time)>;
+
+  VmtpEndpoint(sim::Simulator& sim, viper::ViperHost& host,
+               std::uint64_t entity_id, VmtpConfig config = {});
+
+  /// Unbinds the entity from its host (supporting migration: a new
+  /// incarnation may bind the same id elsewhere, §4.1).  Destroying an
+  /// endpoint with transactions still outstanding cancels their timers.
+  ~VmtpEndpoint();
+  VmtpEndpoint(const VmtpEndpoint&) = delete;
+  VmtpEndpoint& operator=(const VmtpEndpoint&) = delete;
+
+  /// Serves requests addressed to this entity.
+  void serve(RequestHandler handler) { handler_ = std::move(handler); }
+
+  /// Issues a request along @p route to @p server_entity.
+  void invoke(const dir::IssuedRoute& route, std::uint64_t server_entity,
+              std::span<const std::uint8_t> request,
+              ResponseCallback callback);
+
+  /// Wires congestion pacing: packets consult the throttle keyed by the
+  /// first-hop (router, port) of the route being used.
+  void set_throttle(cc::SourceThrottle* throttle) { throttle_ = throttle; }
+
+  void set_failure_hook(FailureHook hook) { on_failure_ = std::move(hook); }
+  void set_rtt_hook(RttHook hook) { on_rtt_ = std::move(hook); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t entity_id() const { return entity_; }
+  [[nodiscard]] HostClock& clock() { return clock_; }
+  [[nodiscard]] sim::Time smoothed_rtt() const { return srtt_; }
+
+ private:
+  /// Reassembly buffer for one incoming packet group.
+  struct GroupRx {
+    std::vector<wire::Bytes> parts;
+    std::uint32_t received_mask = 0;
+    std::uint8_t group_size = 0;
+    sim::Time first_at = 0;
+    std::optional<viper::Delivery> reply_via;  ///< latest packet's delivery
+    sim::EventId gap_timer = 0;
+  };
+
+  /// Sender state for one outstanding transaction (client side).
+  struct TxState {
+    dir::IssuedRoute route;
+    std::uint64_t server = 0;
+    std::vector<wire::Bytes> request_parts;
+    ResponseCallback callback;
+    sim::Time started = 0;
+    int retries = 0;
+    sim::EventId rto_timer = 0;
+    GroupRx response;
+    bool response_started = false;
+  };
+
+  /// Server-side memory of a completed transaction, for duplicate
+  /// suppression and response retransmission.
+  struct Served {
+    std::vector<wire::Bytes> response_parts;
+  };
+
+  void on_delivery(const viper::Delivery& delivery);
+  void handle_request_packet(const TransportPacket& packet,
+                             const viper::Delivery& delivery);
+  void handle_response_packet(const TransportPacket& packet,
+                              const viper::Delivery& delivery);
+  void handle_nack(const TransportPacket& packet,
+                   const viper::Delivery& delivery);
+
+  bool lifetime_ok(const Header& header);
+
+  /// Splits @p data into group payload parts.
+  std::vector<wire::Bytes> split(std::span<const std::uint8_t> data) const;
+
+  /// Sends the group packets selected by @p mask (bit i => send part i)
+  /// with rate pacing, via direct route or reply path.
+  void send_group(const Header& base, const std::vector<wire::Bytes>& parts,
+                  std::uint32_t mask, const dir::IssuedRoute* route,
+                  const viper::Delivery* reply_via);
+
+  void send_one(const Header& header, const wire::Bytes& payload,
+                const dir::IssuedRoute* route,
+                const viper::Delivery* reply_via, sim::Time when);
+
+  void arm_rto(std::uint32_t transaction);
+  void on_rto(std::uint32_t transaction);
+  void arm_gap_timer(GroupRx& rx, std::uint64_t peer,
+                     std::uint32_t transaction, PacketType kind);
+  void complete_request(std::uint64_t peer, std::uint32_t transaction,
+                        const GroupRx& rx);
+  void finish(std::uint32_t transaction, Result result);
+
+  void observe_rtt(sim::Time rtt);
+  [[nodiscard]] sim::Time rto() const;
+
+  sim::Simulator& sim_;
+  viper::ViperHost& host_;
+  std::uint64_t entity_;
+  VmtpConfig config_;
+  HostClock clock_;
+  cc::SourceThrottle* throttle_ = nullptr;
+
+  RequestHandler handler_;
+  FailureHook on_failure_;
+  RttHook on_rtt_;
+
+  std::uint32_t next_transaction_ = 1;
+  std::map<std::uint32_t, TxState> outstanding_;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, GroupRx> inbound_;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, Served> served_;
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> served_order_;
+
+  sim::Time srtt_ = 0;
+  Stats stats_;
+};
+
+}  // namespace srp::vmtp

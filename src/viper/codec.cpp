@@ -1,0 +1,154 @@
+#include "viper/codec.hpp"
+
+namespace srp::viper {
+namespace {
+
+constexpr std::size_t kLengthEscape = 255;
+
+std::size_t field_wire_size(std::size_t len) {
+  // A field longer than 254 octets is prefixed by its 32-bit length.
+  return len > 254 ? 4 + len : len;
+}
+
+std::uint8_t encode_flags(const core::SegmentFlags& f) {
+  std::uint8_t v = 0;
+  if (f.vnt) v |= kFlagVnt;
+  if (f.dib) v |= kFlagDib;
+  if (f.rpf) v |= kFlagRpf;
+  if (f.trm) v |= kFlagTrm;
+  return v;
+}
+
+core::SegmentFlags decode_flags(std::uint8_t v) {
+  core::SegmentFlags f;
+  f.vnt = (v & kFlagVnt) != 0;
+  f.dib = (v & kFlagDib) != 0;
+  f.rpf = (v & kFlagRpf) != 0;
+  f.trm = (v & kFlagTrm) != 0;
+  return f;
+}
+
+void encode_length_byte(wire::Writer& w, std::size_t len) {
+  w.u8(len > 254 ? static_cast<std::uint8_t>(kLengthEscape)
+                 : static_cast<std::uint8_t>(len));
+}
+
+void encode_field(wire::Writer& w, const wire::Bytes& field) {
+  if (field.size() > 254) {
+    w.u32(static_cast<std::uint32_t>(field.size()));
+  }
+  w.bytes(field);
+}
+
+wire::Bytes decode_field(wire::Reader& r, std::uint8_t length_byte) {
+  std::size_t len = length_byte;
+  if (length_byte == kLengthEscape) {
+    len = r.u32();
+    if (len <= 254) {
+      throw wire::CodecError("VIPER: escaped length not > 254");
+    }
+  }
+  return r.bytes(len);
+}
+
+}  // namespace
+
+std::size_t segment_wire_size(const core::HeaderSegment& segment) {
+  return 4 + field_wire_size(segment.token.size()) +
+         field_wire_size(segment.port_info.size());
+}
+
+void encode_segment(wire::Writer& w, const core::HeaderSegment& segment) {
+  if (segment.token.size() > 0xFFFFFFFFull ||
+      segment.port_info.size() > 0xFFFFFFFFull) {
+    throw wire::CodecError("VIPER: field too large");
+  }
+  encode_length_byte(w, segment.port_info.size());
+  encode_length_byte(w, segment.token.size());
+  w.u8(segment.port);
+  w.u8(static_cast<std::uint8_t>(encode_flags(segment.flags) << 4 |
+                                 (segment.tos.priority & 0x0F)));
+  encode_field(w, segment.token);
+  encode_field(w, segment.port_info);
+}
+
+core::HeaderSegment decode_segment(wire::Reader& r) {
+  const std::uint8_t info_len = r.u8();
+  const std::uint8_t token_len = r.u8();
+  core::HeaderSegment seg;
+  seg.port = r.u8();
+  const std::uint8_t fp = r.u8();
+  seg.flags = decode_flags(static_cast<std::uint8_t>(fp >> 4));
+  seg.tos.priority = fp & 0x0F;
+  seg.tos.drop_if_blocked = seg.flags.dib;
+  seg.token = decode_field(r, token_len);
+  seg.port_info = decode_field(r, info_len);
+  if (seg.flags.vnt && !seg.flags.trm) {
+    // "the portInfo field is void ... may still be non-zero if the PortInfo
+    // field is used for padding" — padding is discarded on decode.
+    seg.port_info.clear();
+  }
+  return seg;
+}
+
+wire::Bytes encode_route(const core::SourceRoute& route) {
+  wire::Writer w;
+  for (const auto& seg : route.segments) encode_segment(w, seg);
+  return std::move(w).take();
+}
+
+std::vector<core::HeaderSegment> decode_segments(wire::Reader& r) {
+  std::vector<core::HeaderSegment> out;
+  while (!r.done()) out.push_back(decode_segment(r));
+  return out;
+}
+
+wire::Bytes encode_packet(const core::SourceRoute& route,
+                          std::span<const std::uint8_t> data) {
+  if (route.segments.empty() || route.segments.size() > core::kMaxSegments) {
+    throw wire::CodecError("VIPER: route length out of range");
+  }
+  if (data.size() > 0xFFFF) {
+    throw wire::CodecError("VIPER: data exceeds 16-bit length");
+  }
+  wire::Writer w;
+  for (const auto& seg : route.segments) {
+    if (!seg.is_legal()) {
+      throw wire::CodecError("VIPER: truncation mark in route");
+    }
+    encode_segment(w, seg);
+  }
+  w.u16(static_cast<std::uint16_t>(data.size()));
+  w.bytes(data);
+  return std::move(w).take();
+}
+
+DeliveredBody decode_delivered_body(wire::Reader& r) {
+  DeliveredBody body;
+  const std::uint16_t data_len = r.u16();
+  if (r.remaining() >= data_len) {
+    body.data = r.bytes(data_len);
+    body.trailer = decode_segments(r);
+    return body;
+  }
+  // Truncated in flight: the data was cut short.  A truncating router
+  // appends a 4-byte TRM segment after the cut; recover it if present so
+  // the receiver sees an explicit truncation mark.
+  wire::Bytes rest = r.bytes(r.remaining());
+  if (rest.size() >= 4) {
+    wire::Reader tail{std::span{rest}.subspan(rest.size() - 4)};
+    try {
+      core::HeaderSegment mark = decode_segment(tail);
+      if (mark.flags.trm) {
+        body.trailer.push_back(mark);
+        rest.resize(rest.size() - 4);
+      }
+    } catch (const wire::CodecError&) {
+      // Tail does not parse as a mark: leave the bytes as data.
+    }
+  }
+  body.data = std::move(rest);
+  return body;
+}
+
+}  // namespace srp::viper

@@ -1,0 +1,82 @@
+// VIPER wire format (paper §5, Figure 1).
+//
+//    0                   1
+//    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5
+//   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//   |PortInfoLength |PortTokenLength|
+//   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//   |     Port      | Flags |Priorit|
+//   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//   >          Port Token           <
+//   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//   >          PortInfo             <
+//   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//
+// The fixed 32-bit prefix comes first so cut-through hardware learns the
+// variable-length sizes "as far in advance as possible"; a length byte of
+// 255 escapes to a 32-bit length occupying the first four octets of the
+// corresponding field.  The smallest segment is 32 bits.
+//
+// Packet layout used by this implementation (concretization documented in
+// DESIGN.md — the paper leaves the data/trailer boundary to the transport):
+//
+//   ViperPacket := Segment*  DataLen(u16)  Data  TrailerSegment*
+//
+// Routers never read DataLen; only end hosts do.  Trailer entries reuse the
+// header-segment encoding; the truncation mark is a segment with the TRM
+// flag, "not a legal Sirpent header segment".
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/segment.hpp"
+#include "wire/buffer.hpp"
+
+namespace srp::viper {
+
+/// VIPER transmission unit: "The VIPER transmission unit is 1500 bytes."
+inline constexpr std::size_t kViperMtu = 1500;
+
+/// Flags nibble bit assignment (VNT/DIB/RPF from the paper; TRM ours).
+inline constexpr std::uint8_t kFlagVnt = 0x8;
+inline constexpr std::uint8_t kFlagDib = 0x4;
+inline constexpr std::uint8_t kFlagRpf = 0x2;
+inline constexpr std::uint8_t kFlagTrm = 0x1;
+
+/// Encoded size of @p segment in octets.
+std::size_t segment_wire_size(const core::HeaderSegment& segment);
+
+/// Appends one encoded segment.
+void encode_segment(wire::Writer& w, const core::HeaderSegment& segment);
+
+/// Decodes one segment, advancing the reader.  Throws wire::CodecError on
+/// malformed input.
+core::HeaderSegment decode_segment(wire::Reader& r);
+
+/// Encodes a full route (all segments, in order).
+wire::Bytes encode_route(const core::SourceRoute& route);
+
+/// Decodes segments until the reader is exhausted (for route blobs and
+/// trailers).
+std::vector<core::HeaderSegment> decode_segments(wire::Reader& r);
+
+/// Builds the body of a fresh VIPER packet: route + DataLen + data, with an
+/// empty trailer.  Throws if the route is too long (core::kMaxSegments) or
+/// the data exceeds the 16-bit length field.
+wire::Bytes encode_packet(const core::SourceRoute& route,
+                          std::span<const std::uint8_t> data);
+
+/// What an end host sees after consuming the final (local) segment.
+struct DeliveredBody {
+  wire::Bytes data;
+  std::vector<core::HeaderSegment> trailer;  ///< raw, may include TRM marks
+};
+
+/// Parses [DataLen][Data][Trailer...] — the bytes remaining after the local
+/// segment has been decoded.  If the packet was truncated in flight the
+/// data may be short; `data` then contains what arrived and the TRM mark
+/// (if it survived) is in `trailer`.
+DeliveredBody decode_delivered_body(wire::Reader& r);
+
+}  // namespace srp::viper

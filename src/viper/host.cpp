@@ -1,0 +1,145 @@
+#include "viper/host.hpp"
+
+namespace srp::viper {
+
+ViperHost::ViperHost(sim::Simulator& sim, std::string name,
+                     net::PacketFactory& packets)
+    : net::PortedNode(sim, std::move(name)), packets_(packets) {}
+
+void ViperHost::set_port_kind(int port_index, PortKind kind) {
+  if (port_index <= 0) throw std::out_of_range("bad port index");
+  if (static_cast<std::size_t>(port_index) >= port_kinds_.size()) {
+    port_kinds_.resize(static_cast<std::size_t>(port_index) + 1,
+                       PortKind::kPointToPoint);
+  }
+  port_kinds_[static_cast<std::size_t>(port_index)] = kind;
+}
+
+PortKind ViperHost::port_kind(int port_index) const {
+  if (port_index <= 0 ||
+      static_cast<std::size_t>(port_index) >= port_kinds_.size()) {
+    return PortKind::kPointToPoint;
+  }
+  return port_kinds_[static_cast<std::size_t>(port_index)];
+}
+
+void ViperHost::bind(std::uint64_t endpoint_id, Handler handler) {
+  endpoints_[endpoint_id] = std::move(handler);
+}
+
+void ViperHost::unbind(std::uint64_t endpoint_id) {
+  endpoints_.erase(endpoint_id);
+}
+
+void ViperHost::set_default_handler(Handler handler) {
+  default_handler_ = std::move(handler);
+}
+
+std::uint64_t ViperHost::send(const core::SourceRoute& route,
+                              std::span<const std::uint8_t> data,
+                              const SendOptions& options) {
+  wire::Writer w;
+  if (options.link.has_value()) {
+    options.link->encode(w);
+  }
+  wire::Bytes body = encode_packet(route, data);
+  w.bytes(body);
+
+  net::PacketPtr packet =
+      packets_.make(std::move(w).take(), sim_.now(), options.flow);
+  const std::uint64_t id = packet->id;
+  ++stats_.sent;
+  core::TypeOfService tos = options.tos;
+  port(options.out_port)
+      .enqueue(std::move(packet),
+               net::TxMeta{core::priority_rank(tos.priority),
+                           core::priority_preempts(tos.priority),
+                           tos.drop_if_blocked},
+               0);
+  return id;
+}
+
+std::uint64_t ViperHost::reply(const Delivery& delivery,
+                               std::span<const std::uint8_t> data,
+                               core::TypeOfService tos) {
+  core::SourceRoute route = delivery.return_route;
+  for (auto& seg : route.segments) {
+    seg.tos.priority = tos.priority;
+    seg.tos.drop_if_blocked = tos.drop_if_blocked;
+    seg.flags.dib = tos.drop_if_blocked;
+  }
+  SendOptions options;
+  options.tos = tos;
+  options.flow = delivery.flow;
+  options.out_port = delivery.in_port;
+  options.link = delivery.reply_link;
+  return send(route, data, options);
+}
+
+void ViperHost::on_arrival(const net::Arrival& arrival) {
+  // A host needs the whole packet (data + trailer): act at last-bit time.
+  sim_.at(arrival.tail, [this, arrival] { process(arrival); });
+}
+
+void ViperHost::process(const net::Arrival& arrival) {
+  const net::Packet& packet = *arrival.packet;
+  std::optional<net::EthernetHeader> link;
+  core::HeaderSegment local_seg;
+  DeliveredBody body;
+  try {
+    wire::Reader r(packet.bytes);
+    if (port_kind(arrival.in_port) == PortKind::kLan) {
+      link = net::EthernetHeader::decode(r);
+    }
+    local_seg = decode_segment(r);
+    if (local_seg.port != core::kLocalPort || !local_seg.is_legal()) {
+      ++stats_.misrouted;
+      return;
+    }
+    body = decode_delivered_body(r);
+  } catch (const wire::CodecError&) {
+    ++stats_.dropped_malformed;
+    return;
+  }
+
+  const auto endpoint = decode_endpoint_id(local_seg.port_info);
+
+  if (endpoint.has_value() && *endpoint == kControlEndpoint) {
+    ++stats_.control_received;
+    if (control_handler_) {
+      control_handler_(std::move(body.data), arrival.in_port);
+    }
+    return;
+  }
+
+  core::TrailerInfo trailer = core::classify_trailer(std::move(body.trailer));
+  Delivery delivery;
+  delivery.data = std::move(body.data);
+  delivery.return_route = core::build_return_route(trailer.entries);
+  if (link.has_value()) delivery.reply_link = link->reversed();
+  delivery.truncated = trailer.truncated || packet.effectively_truncated();
+  delivery.endpoint = endpoint.value_or(0);
+  delivery.packet_id = packet.id;
+  delivery.flow = packet.flow;
+  delivery.hops = packet.hops;
+  delivery.sent_at = packet.created;
+  delivery.delivered_at = sim_.now();
+  delivery.in_port = arrival.in_port;
+
+  ++stats_.delivered;
+  if (delivery.truncated) ++stats_.truncated_received;
+
+  if (endpoint.has_value()) {
+    const auto it = endpoints_.find(*endpoint);
+    if (it != endpoints_.end()) {
+      it->second(delivery);
+      return;
+    }
+    ++stats_.unknown_endpoint;
+  }
+  if (default_handler_) {
+    default_handler_(delivery);
+  }
+}
+
+}  // namespace srp::viper

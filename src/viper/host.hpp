@@ -1,0 +1,110 @@
+// End-host Sirpent module: sends source-routed VIPER packets and, on
+// delivery, rebuilds the return route from the trailer (paper §2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/segment.hpp"
+#include "core/trailer.hpp"
+#include "net/ethernet.hpp"
+#include "net/network.hpp"
+#include "viper/codec.hpp"
+#include "viper/router.hpp"
+
+namespace srp::viper {
+
+/// A packet delivered to an end host, with everything the higher layers
+/// need: the data, the network-independently reversed return route, the
+/// link header for the first return hop, and truncation status.
+struct Delivery {
+  wire::Bytes data;
+  core::SourceRoute return_route;  ///< trailer reversed + local segment
+  std::optional<net::EthernetHeader> reply_link;  ///< swapped arrival header
+  bool truncated = false;   ///< TRM mark seen or transmission aborted
+  std::uint64_t endpoint = 0;  ///< local endpoint id addressed (0 = none)
+  std::uint64_t packet_id = 0;
+  std::uint64_t flow = 0;
+  std::uint32_t hops = 0;        ///< routers the packet traversed
+  sim::Time sent_at = 0;
+  sim::Time delivered_at = 0;
+  int in_port = 0;
+};
+
+/// Options for ViperHost::send.
+struct SendOptions {
+  core::TypeOfService tos;
+  std::uint64_t flow = 0;
+  int out_port = 1;
+  /// Link header for the first hop when the out port is on a LAN; the
+  /// paper's "initial header segment is implicit from the network type".
+  std::optional<net::EthernetHeader> link;
+};
+
+class ViperHost : public net::PortedNode {
+ public:
+  using Handler = std::function<void(const Delivery&)>;
+  using ControlHandler =
+      std::function<void(wire::Bytes payload, int in_port)>;
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t truncated_received = 0;
+    std::uint64_t misrouted = 0;       ///< arrived with a non-local segment
+    std::uint64_t unknown_endpoint = 0;
+    std::uint64_t dropped_malformed = 0;
+    std::uint64_t control_received = 0;
+  };
+
+  ViperHost(sim::Simulator& sim, std::string name,
+            net::PacketFactory& packets);
+
+  void set_port_kind(int port_index, PortKind kind);
+  [[nodiscard]] PortKind port_kind(int port_index) const;
+
+  /// Binds a local endpoint id; packets whose final segment carries this id
+  /// are delivered to @p handler ("intra-host addressing is provided by the
+  /// same mechanism as used for inter-host addressing").
+  void bind(std::uint64_t endpoint_id, Handler handler);
+  void unbind(std::uint64_t endpoint_id);
+
+  /// Receives packets with no / unknown endpoint id — the transport
+  /// dispatcher, which must detect misdelivery itself (paper §4.1).
+  void set_default_handler(Handler handler);
+
+  void set_control_handler(ControlHandler handler) {
+    control_handler_ = std::move(handler);
+  }
+
+  /// Sends @p data along @p route.  The route's last segment should be a
+  /// local-delivery (port 0) segment for the destination host.
+  /// Returns the packet id.
+  std::uint64_t send(const core::SourceRoute& route,
+                     std::span<const std::uint8_t> data,
+                     const SendOptions& options = {});
+
+  /// Sends @p data back along a received packet's return route.
+  std::uint64_t reply(const Delivery& delivery,
+                      std::span<const std::uint8_t> data,
+                      core::TypeOfService tos = {});
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  void on_arrival(const net::Arrival& arrival) override;
+
+ private:
+  void process(const net::Arrival& arrival);
+
+  net::PacketFactory& packets_;
+  std::vector<PortKind> port_kinds_;
+  std::map<std::uint64_t, Handler> endpoints_;
+  Handler default_handler_;
+  ControlHandler control_handler_;
+  Stats stats_;
+};
+
+}  // namespace srp::viper

@@ -1,0 +1,491 @@
+#include "viper/router.hpp"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace srp::viper {
+namespace {
+
+net::TxMeta meta_for(const core::TypeOfService& tos) {
+  return net::TxMeta{core::priority_rank(tos.priority),
+                     core::priority_preempts(tos.priority),
+                     tos.drop_if_blocked};
+}
+
+/// Port field of the packet's next segment, or 0 when the remainder does
+/// not start with a routable segment (e.g. it is the DataLen of a locally
+/// terminating packet).  Used only as the congestion flow key.
+std::uint8_t peek_next_port(const wire::Bytes& bytes, std::size_t offset) {
+  if (offset >= bytes.size()) return 0;
+  wire::Reader r{std::span{bytes}.subspan(offset)};
+  try {
+    const core::HeaderSegment seg = decode_segment(r);
+    return seg.is_legal() ? seg.port : 0;
+  } catch (const wire::CodecError&) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+wire::Bytes encode_endpoint_id(std::uint64_t id) {
+  wire::Writer w(8);
+  w.u64(id);
+  return std::move(w).take();
+}
+
+std::optional<std::uint64_t> decode_endpoint_id(const wire::Bytes& info) {
+  if (info.size() != 8) return std::nullopt;
+  wire::Reader r(info);
+  return r.u64();
+}
+
+ViperRouter::ViperRouter(sim::Simulator& sim, std::string name,
+                         RouterConfig config)
+    : net::PortedNode(sim, std::move(name)), config_(config) {}
+
+void ViperRouter::set_port_kind(int port_index, PortKind kind) {
+  if (port_index <= 0) throw std::out_of_range("bad port index");
+  if (static_cast<std::size_t>(port_index) >= port_kinds_.size()) {
+    port_kinds_.resize(static_cast<std::size_t>(port_index) + 1,
+                       PortKind::kPointToPoint);
+  }
+  port_kinds_[static_cast<std::size_t>(port_index)] = kind;
+}
+
+PortKind ViperRouter::port_kind(int port_index) const {
+  if (port_index <= 0 ||
+      static_cast<std::size_t>(port_index) >= port_kinds_.size()) {
+    return PortKind::kPointToPoint;
+  }
+  return port_kinds_[static_cast<std::size_t>(port_index)];
+}
+
+void ViperRouter::define_logical_port(std::uint8_t id, LogicalPort lp) {
+  logical_ports_[id] = std::move(lp);
+}
+
+void ViperRouter::define_tunnel_port(std::uint8_t id,
+                                     TunnelTransmit transmit) {
+  tunnel_ports_[id] = std::move(transmit);
+}
+
+void ViperRouter::inject_from_tunnel(std::uint8_t tunnel_port_id,
+                                     wire::Bytes viper_bytes,
+                                     wire::Bytes reverse_info) {
+  ++stats_.received;
+  auto packet = std::make_shared<net::Packet>();
+  packet->bytes = std::move(viper_bytes);
+  packet->created = sim_.now();
+  net::Arrival arrival;
+  arrival.packet = packet;
+  arrival.in_port = 0;  // not a physical port; the trailer entry names the
+                        // tunnel port instead (see make_return_entry)
+  arrival.head = sim_.now();
+  arrival.tail = sim_.now();
+  arrival.rate_bps = 0.0;  // forces store-and-forward timing
+  handle_packet(arrival, packet->bytes, /*synthetic_tree_copy=*/true,
+                std::make_pair(tunnel_port_id, std::move(reverse_info)));
+}
+
+void ViperRouter::enable_delay_lines(sim::Time latency,
+                                     int max_recirculations) {
+  for (int p = 1; p <= port_count(); ++p) {
+    net::TxPort& out = port(p);
+    out.overflow_handler = [this, p, latency, max_recirculations](
+                               net::PacketPtr packet, net::TxMeta meta) {
+      if (packet->recirculations >=
+          static_cast<std::uint8_t>(max_recirculations)) {
+        ++stats_.delay_line_overflows;
+        return false;  // give up: normal drop
+      }
+      ++packet->recirculations;
+      ++stats_.delay_line_loops;
+      // The packet spends `latency` in the delay line, then retries the
+      // same output port ("entering it into a local delay line to store
+      // the packet for some period of time", §2.1).
+      sim_.after(latency, [this, p, packet = std::move(packet), meta] {
+        port(p).enqueue(packet, meta, 0);
+      });
+      return true;
+    };
+  }
+}
+
+void ViperRouter::set_token_authority(const tokens::TokenAuthority* authority,
+                                      tokens::Ledger* ledger) {
+  authority_ = authority;
+  ledger_ = ledger;
+}
+
+void ViperRouter::on_arrival(const net::Arrival& arrival) {
+  ++stats_.received;
+  arrival.packet->last_in_port = arrival.in_port;
+  handle_packet(arrival, arrival.packet->bytes,
+                /*synthetic_tree_copy=*/false);
+}
+
+void ViperRouter::handle_packet(
+    const net::Arrival& arrival, const wire::Bytes& bytes,
+    bool synthetic_tree_copy,
+    std::optional<std::pair<std::uint8_t, wire::Bytes>> tunnel_return) {
+  ParsedFront front;
+  front.tunnel_return = std::move(tunnel_return);
+  try {
+    wire::Reader r(bytes);
+    if (!synthetic_tree_copy &&
+        port_kind(arrival.in_port) == PortKind::kLan) {
+      front.link = net::EthernetHeader::decode(r);
+    }
+    front.segment = decode_segment(r);
+    front.consumed = r.position();
+  } catch (const wire::CodecError&) {
+    ++stats_.dropped_malformed;
+    return;
+  }
+  if (!front.segment.is_legal()) {
+    ++stats_.dropped_malformed;
+    return;
+  }
+
+  if (front.segment.port == core::kLocalPort) {
+    deliver_control(arrival, front, bytes);
+    return;
+  }
+
+  // Blazenet-style tree multicast: the continuation lives in the branches.
+  if (core::is_tree_info(front.segment.port_info)) {
+    branch_tree(arrival, front, bytes);
+    return;
+  }
+
+  const auto tunnel = tunnel_ports_.find(front.segment.port);
+  if (tunnel != tunnel_ports_.end()) {
+    forward_into_tunnel(arrival, front, tunnel->second, bytes);
+    return;
+  }
+
+  const auto logical = logical_ports_.find(front.segment.port);
+  if (logical != logical_ports_.end()) {
+    const LogicalPort& lp = logical->second;
+    if (lp.members.empty()) {
+      ++stats_.dropped_no_port;
+      return;
+    }
+    if (lp.kind == LogicalPort::Kind::kFanout) {
+      // Multicast mechanism 1: reserved multi-port value.
+      for (std::size_t i = 0; i < lp.members.size(); ++i) {
+        if (i > 0) ++stats_.fanout_copies;
+        forward(arrival, front, lp.members[i], bytes);
+      }
+      return;
+    }
+    // Replicated trunk: "A packet arriving for this logical link would be
+    // routed to whichever of the channels was free" (§2.2).
+    int best = lp.members.front();
+    std::size_t best_bytes = std::numeric_limits<std::size_t>::max();
+    for (int member : lp.members) {
+      const net::TxPort& p = port(member);
+      if (!p.is_up()) continue;
+      if (!p.busy() && p.queue_packets() == 0) {
+        best = member;
+        best_bytes = 0;
+        break;
+      }
+      if (p.queue_bytes() < best_bytes) {
+        best = member;
+        best_bytes = p.queue_bytes();
+      }
+    }
+    forward(arrival, front, best, bytes);
+    return;
+  }
+
+  if (front.segment.port > port_count()) {
+    ++stats_.dropped_no_port;
+    return;
+  }
+  forward(arrival, front, front.segment.port, bytes);
+}
+
+void ViperRouter::branch_tree(const net::Arrival& arrival,
+                              const ParsedFront& front,
+                              const wire::Bytes& bytes) {
+  std::vector<wire::Bytes> branches;
+  try {
+    branches = core::decode_tree_info(front.segment.port_info);
+  } catch (const wire::CodecError&) {
+    ++stats_.dropped_malformed;
+    return;
+  }
+  const std::span<const std::uint8_t> rest =
+      std::span(bytes).subspan(front.consumed);
+  for (const auto& blob : branches) {
+    ++stats_.tree_copies;
+    wire::Bytes copy;
+    copy.reserve(blob.size() + rest.size());
+    copy.insert(copy.end(), blob.begin(), blob.end());
+    copy.insert(copy.end(), rest.begin(), rest.end());
+    handle_packet(arrival, copy, /*synthetic_tree_copy=*/true);
+  }
+}
+
+void ViperRouter::deliver_control(const net::Arrival& arrival,
+                                  const ParsedFront& front,
+                                  const wire::Bytes& bytes) {
+  if (!control_handler_) {
+    ++stats_.dropped_no_port;
+    return;
+  }
+  try {
+    wire::Reader r{std::span{bytes}.subspan(front.consumed)};
+    DeliveredBody body = decode_delivered_body(r);
+    ++stats_.delivered_control;
+    control_handler_(front.segment, std::move(body.data), arrival.in_port);
+  } catch (const wire::CodecError&) {
+    ++stats_.dropped_malformed;
+  }
+}
+
+core::HeaderSegment ViperRouter::make_return_entry(
+    const net::Arrival& arrival, const ParsedFront& front,
+    bool token_reversible) const {
+  core::HeaderSegment entry;
+  entry.port = static_cast<std::uint8_t>(arrival.in_port);
+  entry.tos = front.segment.tos;
+  entry.flags.dib = front.segment.tos.drop_if_blocked;
+  if (token_reversible) entry.token = front.segment.token;
+  if (front.tunnel_return.has_value()) {
+    // Tunnel ingress: the return hop re-enters the tunnel toward the far
+    // gateway learned from the encapsulation header.
+    entry.port = front.tunnel_return->first;
+    entry.port_info = front.tunnel_return->second;
+    entry.flags.vnt = entry.port_info.empty();
+    return entry;
+  }
+  if (front.link.has_value()) {
+    // "with an Ethernet header, the destination and source addresses are
+    // swapped" so the stored header is a correct return hop.
+    wire::Writer w(net::EthernetHeader::kWireSize);
+    front.link->reversed().encode(w);
+    entry.port_info = std::move(w).take();
+    entry.flags.vnt = false;
+  } else {
+    entry.flags.vnt = true;
+  }
+  return entry;
+}
+
+std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
+    const core::HeaderSegment& seg, int physical_port,
+    std::size_t packet_bytes) {
+  if (!config_.require_tokens || authority_ == nullptr) {
+    // Enforcement disabled: echo any supplied token into the trailer so
+    // the receiver can reuse it on the return route.
+    return TokenDecision{0, !seg.token.empty()};
+  }
+  (void)physical_port;
+  if (seg.token.empty()) {
+    ++stats_.dropped_unauthorized;
+    return std::nullopt;
+  }
+
+  tokens::TokenCache::Entry* entry = token_cache_.find(seg.token);
+  if (entry != nullptr) {
+    if (entry->flagged) {
+      ++stats_.dropped_unauthorized;
+      return std::nullopt;
+    }
+    // Cached, valid: real-time checks against the cached body.  A token
+    // minted for the forward port also authorizes the *return* hop when
+    // reverse charging is granted and the packet is marked RPF ("the
+    // token can be used for the return route as well", §2.2).
+    const bool port_ok =
+        entry->body.port == seg.port ||
+        (seg.flags.rpf && entry->body.reverse_ok);
+    if (!port_ok || core::priority_rank(seg.tos.priority) >
+                        core::priority_rank(entry->body.max_priority)) {
+      ++stats_.dropped_unauthorized;
+      return std::nullopt;
+    }
+    if (entry->body.expiry_sec != 0 &&
+        sim_.now() > static_cast<sim::Time>(entry->body.expiry_sec) *
+                         sim::kSecond) {
+      ++stats_.dropped_expired_token;
+      return std::nullopt;
+    }
+    assert(ledger_ != nullptr);
+    if (!token_cache_.charge(*entry, packet_bytes, *ledger_)) {
+      ++stats_.dropped_token_limit;
+      return std::nullopt;
+    }
+    return TokenDecision{0, entry->body.reverse_ok};
+  }
+
+  // Miss: start the (slow) verification exactly once per token value.
+  const std::uint64_t key = tokens::TokenCache::key_of(seg.token);
+  if (!pending_verifies_.contains(key)) {
+    pending_verifies_.insert(key);
+    wire::Bytes token_copy = seg.token;
+    const std::uint64_t first_packet_bytes = packet_bytes;
+    sim_.after(config_.verify_delay, [this, token_copy = std::move(token_copy),
+                                      first_packet_bytes, key] {
+      pending_verifies_.erase(key);
+      auto body = authority_->open(config_.router_id, token_copy);
+      auto& e = token_cache_.store(token_copy, body);
+      if (e.valid && config_.uncached_policy ==
+                         tokens::UncachedPolicy::kOptimistic) {
+        // The optimistically forwarded first packet is charged now.
+        token_cache_.charge(e, first_packet_bytes, *ledger_);
+      }
+    });
+  }
+
+  switch (config_.uncached_policy) {
+    case tokens::UncachedPolicy::kOptimistic:
+      // "one or a small number of unauthorized packets can be allowed
+      // through without significant problems."  The token is also echoed
+      // into the trailer optimistically: by the time a reply presents it,
+      // verification has landed and a bad token is flagged.
+      return TokenDecision{0, true};
+    case tokens::UncachedPolicy::kBlocking:
+      // "the initial packet can be handled as a blocked packet ... the
+      // blocking action allows some time for the token to be processed."
+      return TokenDecision{config_.verify_delay, false};
+    case tokens::UncachedPolicy::kDrop:
+      ++stats_.dropped_uncached;
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+sim::Time ViperRouter::earliest_forward_time(const net::Arrival& arrival,
+                                             std::size_t consumed,
+                                             int out_port) const {
+  const net::TxPort& out = port(out_port);
+  const bool same_rate = arrival.rate_bps == out.config().rate_bps;
+  if (config_.cut_through && same_rate) {
+    // Decision is possible once the link header + first segment are in.
+    return arrival.head + sim::byte_time(consumed, arrival.rate_bps) +
+           config_.decision_delay;
+  }
+  // "Cut-through routing is only applicable when the input link and the
+  // output link are the same data rates" — otherwise store-and-forward.
+  return arrival.tail + config_.store_forward_proc + config_.decision_delay;
+}
+
+void ViperRouter::forward(const net::Arrival& arrival,
+                          const ParsedFront& front, int physical_port,
+                          const wire::Bytes& bytes) {
+  if (physical_port <= 0 || physical_port > port_count()) {
+    ++stats_.dropped_no_port;
+    return;
+  }
+  net::TxPort& out = port(physical_port);
+
+  const auto decision =
+      admit_token(front.segment, physical_port, bytes.size());
+  if (!decision.has_value()) return;
+
+  if (decision->extra_delay > 0 &&
+      config_.uncached_policy == tokens::UncachedPolicy::kBlocking) {
+    // Blocking admission: retry once the verification has landed in the
+    // cache (the packet is fully buffered by then).
+    net::Arrival deferred = arrival;
+    wire::Bytes bytes_copy = bytes;
+    ParsedFront front_copy = front;
+    sim_.after(decision->extra_delay,
+               [this, deferred, front_copy = std::move(front_copy),
+                physical_port, bytes_copy = std::move(bytes_copy)] {
+                 forward(deferred, front_copy, physical_port, bytes_copy);
+               });
+    return;
+  }
+
+  wire::Writer w(bytes.size() + 32);
+  if (port_kind(physical_port) == PortKind::kLan) {
+    if (front.segment.port_info.size() < net::EthernetHeader::kWireSize) {
+      ++stats_.dropped_malformed;
+      return;
+    }
+    // The segment's portInfo is the link header for the next network.
+    w.bytes(front.segment.port_info);
+  }
+  w.bytes(std::span(bytes).subspan(front.consumed));
+  encode_segment(w, make_return_entry(arrival, front, decision->reversible));
+  wire::Bytes out_bytes = std::move(w).take();
+
+  bool truncated = false;
+  if (out_bytes.size() > out.config().mtu_bytes) {
+    // Cut-through discovers oversize mid-transmission; the packet is cut
+    // and a truncation mark (an illegal segment) is appended (§2).
+    const core::HeaderSegment mark = core::HeaderSegment::truncation_marker();
+    wire::Writer mw(4);
+    encode_segment(mw, mark);
+    const wire::Bytes mark_bytes = std::move(mw).take();
+    out_bytes.resize(out.config().mtu_bytes - mark_bytes.size());
+    out_bytes.insert(out_bytes.end(), mark_bytes.begin(), mark_bytes.end());
+    truncated = true;
+    ++stats_.truncated_forwards;
+  }
+
+  const std::uint8_t next_port = peek_next_port(bytes, front.consumed);
+  net::PacketPtr derived = arrival.packet->derive(std::move(out_bytes));
+  derived->truncated = truncated;
+  derived->last_in_port = arrival.in_port;
+  // Feed-forward load info rides one hop: stamped by the upstream shaper,
+  // read by this router's congested-port monitor (paper §2.2).
+  derived->feedforward = arrival.packet->feedforward;
+
+  const sim::Time earliest =
+      earliest_forward_time(arrival, front.consumed, physical_port);
+  const net::TxMeta meta = meta_for(front.segment.tos);
+
+  ++stats_.forwarded;
+  if (shaper_ &&
+      shaper_(physical_port, next_port, derived, meta, earliest)) {
+    return;  // congestion layer took custody
+  }
+  out.enqueue(std::move(derived), meta, earliest);
+}
+
+void ViperRouter::forward_into_tunnel(const net::Arrival& arrival,
+                                       const ParsedFront& front,
+                                       const TunnelTransmit& transmit,
+                                       const wire::Bytes& bytes) {
+  const auto decision =
+      admit_token(front.segment, /*physical_port=*/0, bytes.size());
+  if (!decision.has_value()) return;
+  // Encapsulated image: the remainder plus this hop's return entry —
+  // exactly what a physical forward would put on the wire, minus framing.
+  wire::Writer w(bytes.size() + 32);
+  w.bytes(std::span{bytes}.subspan(front.consumed));
+  encode_segment(w, make_return_entry(arrival, front, decision->reversible));
+  ++stats_.forwarded;
+  transmit(front.segment.port_info, std::move(w).take(), front.segment.tos);
+}
+
+void ViperRouter::emit_to_port(int out_port, net::PacketPtr packet,
+                               net::TxMeta meta, sim::Time earliest_start) {
+  port(out_port).enqueue(std::move(packet), meta, earliest_start);
+}
+
+void ViperRouter::send_control(int port_index,
+                               std::span<const std::uint8_t> payload,
+                               std::uint8_t priority) {
+  core::SourceRoute route;
+  core::HeaderSegment seg;
+  seg.port = core::kLocalPort;
+  seg.tos.priority = priority;
+  seg.port_info = encode_endpoint_id(kControlEndpoint);
+  route.segments.push_back(std::move(seg));
+
+  auto packet = std::make_shared<net::Packet>();
+  packet->bytes = encode_packet(route, payload);
+  packet->created = sim_.now();
+  port(port_index).enqueue(std::move(packet), meta_for(route.segments[0].tos),
+                           0);
+}
+
+}  // namespace srp::viper

@@ -1,0 +1,250 @@
+// The VIPER router: Sirpent's per-hop algorithm on the simulated plane.
+//
+// "On reception of a Sirpent packet at a router ... the router removes the
+// network header from the front of the packet as well as the port,
+// typeOfService and portToken fields.  It checks the authorization provided
+// by the portToken, if present ... revises the network-specific portion so
+// that it constitutes a correct return hop through this router and appends
+// the return port and network header fields to the end of the packet.  The
+// packet is then forwarded out through the port specified by the port
+// field."  (paper §2)
+//
+// Cut-through: the switching decision is made once the link header and the
+// first VIPER segment have arrived; the output may start then, never
+// before, and only when input and output rates match (§2.1).  Blocked
+// packets are saved / dropped / preempt per type of service.  Tokens are
+// checked against the cache with optimistic / blocking / drop handling for
+// misses (§2.2).  Logical ports implement replicated-trunk load balancing
+// and multi-port multicast; tree-structured portInfo implements Blazenet-
+// style multicast (§2, §2.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/multicast.hpp"
+#include "core/segment.hpp"
+#include "core/trailer.hpp"
+#include "net/ethernet.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+#include "tokens/cache.hpp"
+#include "tokens/token.hpp"
+#include "viper/codec.hpp"
+
+namespace srp::viper {
+
+/// What is attached to a port: a point-to-point link (no link framing) or a
+/// multi-access network (Ethernet framing from the segment's portInfo).
+enum class PortKind : std::uint8_t { kPointToPoint, kLan };
+
+struct RouterConfig {
+  std::uint32_t router_id = 0;
+
+  /// Cut-through enabled; falls back to store-and-forward when the input
+  /// and output link rates differ (paper §2.1).
+  bool cut_through = true;
+
+  /// Switch decision + setup time ("significantly less than a
+  /// microsecond", §2.1/§6.1).
+  sim::Time decision_delay = 500 * sim::kNanosecond;
+
+  /// Per-packet processing when operating store-and-forward.
+  sim::Time store_forward_proc = 2 * sim::kMicrosecond;
+
+  // --- token handling (§2.2) ---
+  bool require_tokens = false;
+  tokens::UncachedPolicy uncached_policy = tokens::UncachedPolicy::kOptimistic;
+  /// Full decrypt+check time for an uncached token.
+  sim::Time verify_delay = 50 * sim::kMicrosecond;
+};
+
+/// A port id that maps to several physical ports (paper §2.2 "logical hops
+/// and load balancing" / §2 multicast mechanism 1).
+struct LogicalPort {
+  enum class Kind {
+    kFanout,       ///< copy the packet out every member (multicast)
+    kLoadBalance,  ///< pick one member: idle first, else shortest queue
+  };
+  Kind kind = Kind::kLoadBalance;
+  std::vector<int> members;
+};
+
+class ViperRouter : public net::PortedNode {
+ public:
+  struct Stats {
+    std::uint64_t received = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t delivered_control = 0;
+    std::uint64_t dropped_malformed = 0;
+    std::uint64_t dropped_no_port = 0;
+    std::uint64_t dropped_unauthorized = 0;
+    std::uint64_t dropped_token_limit = 0;
+    std::uint64_t dropped_uncached = 0;
+    std::uint64_t truncated_forwards = 0;
+    std::uint64_t tree_copies = 0;
+    std::uint64_t fanout_copies = 0;
+    std::uint64_t delay_line_loops = 0;     ///< deferrals via delay lines
+    std::uint64_t delay_line_overflows = 0; ///< recirculation cap exceeded
+    std::uint64_t dropped_expired_token = 0;
+  };
+
+  /// Handler for locally addressed (port 0) packets — congestion reports
+  /// and other router control traffic.
+  using ControlHandler = std::function<void(
+      const core::HeaderSegment& segment, wire::Bytes payload, int in_port)>;
+
+  /// Congestion-layer intercept: called before a forwarded packet is handed
+  /// to its output port.  Returning true means the shaper has taken custody
+  /// and will call emit_to_port() later.  `next_hop_port` is the port field
+  /// of the packet's *next* segment — together with the neighbour behind
+  /// `out_port` it names the downstream queue the packet will feed, which
+  /// is the paper's per-flow rate-control key.
+  using Shaper =
+      std::function<bool(int out_port, std::uint8_t next_hop_port,
+                         net::PacketPtr packet, net::TxMeta meta,
+                         sim::Time earliest_start)>;
+
+  /// Tunnel transmit hook (paper §2.3): a segment addressed to a tunnel
+  /// port hands the remaining VIPER image to the far end designated by the
+  /// segment's portInfo — e.g. an IP datagram across "the Internet as one
+  /// logical hop".  @p info is the segment's portInfo, @p viper_bytes the
+  /// encapsulated packet (trailer entry already appended).
+  using TunnelTransmit = std::function<void(
+      const wire::Bytes& info, wire::Bytes viper_bytes,
+      const core::TypeOfService& tos)>;
+
+  ViperRouter(sim::Simulator& sim, std::string name, RouterConfig config);
+
+  void set_port_kind(int port_index, PortKind kind);
+  [[nodiscard]] PortKind port_kind(int port_index) const;
+
+  void define_logical_port(std::uint8_t id, LogicalPort lp);
+
+  /// Declares @p id a tunnel port served by @p transmit.
+  void define_tunnel_port(std::uint8_t id, TunnelTransmit transmit);
+
+  /// Blazenet-style deferral (§2.1): instead of dropping on a full output
+  /// buffer, circulate the packet through a local delay line of @p latency
+  /// and retry, up to @p max_recirculations times.  Applies to every port
+  /// that has a buffer limit set.
+  void enable_delay_lines(sim::Time latency, int max_recirculations = 10);
+
+  /// Ingress of a packet decapsulated from a tunnel: processed as if it
+  /// arrived on tunnel port @p tunnel_port_id; the reverse trailer entry
+  /// names that port with @p reverse_info as its portInfo (the paper's
+  /// network-specific return information — e.g. the far gateway's IP
+  /// address learned from the encapsulation header).
+  void inject_from_tunnel(std::uint8_t tunnel_port_id,
+                          wire::Bytes viper_bytes, wire::Bytes reverse_info);
+
+  /// Enables token enforcement against @p authority, charging @p ledger.
+  void set_token_authority(const tokens::TokenAuthority* authority,
+                           tokens::Ledger* ledger);
+
+  /// Adjusts token enforcement after construction (experiment harness
+  /// convenience).
+  void set_token_requirement(bool require, tokens::UncachedPolicy policy,
+                             sim::Time verify_delay) {
+    config_.require_tokens = require;
+    config_.uncached_policy = policy;
+    config_.verify_delay = verify_delay;
+  }
+
+  void set_control_handler(ControlHandler handler) {
+    control_handler_ = std::move(handler);
+  }
+  void set_shaper(Shaper shaper) { shaper_ = std::move(shaper); }
+
+  /// Sends a control payload to the neighbour behind @p port_index,
+  /// addressed to its local control endpoint.  Used by the congestion
+  /// layer to push rate reports upstream.
+  void send_control(int port_index, std::span<const std::uint8_t> payload,
+                    std::uint8_t priority = 5);
+
+  /// Congestion layer hands back a shaped packet for transmission.
+  void emit_to_port(int out_port, net::PacketPtr packet, net::TxMeta meta,
+                    sim::Time earliest_start);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+  [[nodiscard]] tokens::TokenCache& token_cache() { return token_cache_; }
+  [[nodiscard]] std::uint32_t router_id() const { return config_.router_id; }
+
+  void on_arrival(const net::Arrival& arrival) override;
+
+ private:
+  struct ParsedFront {
+    std::optional<net::EthernetHeader> link;  ///< present on LAN arrivals
+    core::HeaderSegment segment;              ///< first VIPER segment
+    std::size_t consumed = 0;                 ///< front bytes consumed
+    /// Set on tunnel ingress: (tunnel port id, reverse tunnel info) for
+    /// the trailer entry instead of arrival port / link header.
+    std::optional<std::pair<std::uint8_t, wire::Bytes>> tunnel_return;
+  };
+
+  void handle_packet(
+      const net::Arrival& arrival, const wire::Bytes& bytes,
+      bool synthetic_tree_copy,
+      std::optional<std::pair<std::uint8_t, wire::Bytes>> tunnel_return =
+          std::nullopt);
+  void forward(const net::Arrival& arrival, const ParsedFront& front,
+               int physical_port, const wire::Bytes& bytes);
+  void deliver_control(const net::Arrival& arrival, const ParsedFront& front,
+                       const wire::Bytes& bytes);
+  void branch_tree(const net::Arrival& arrival, const ParsedFront& front,
+                   const wire::Bytes& bytes);
+
+  /// Builds the trailer entry for the reverse hop through this router.
+  [[nodiscard]] core::HeaderSegment make_return_entry(
+      const net::Arrival& arrival, const ParsedFront& front,
+      bool token_reversible) const;
+
+  /// Token admission.  Returns nullopt when the packet must be dropped;
+  /// otherwise the extra delay (0 for cache hits / optimistic) and whether
+  /// the token authorizes the reverse route.
+  struct TokenDecision {
+    sim::Time extra_delay = 0;
+    bool reversible = false;
+  };
+  std::optional<TokenDecision> admit_token(const core::HeaderSegment& seg,
+                                           int physical_port,
+                                           std::size_t packet_bytes);
+
+  [[nodiscard]] sim::Time earliest_forward_time(const net::Arrival& arrival,
+                                                std::size_t consumed,
+                                                int out_port) const;
+
+  void forward_into_tunnel(const net::Arrival& arrival,
+                           const ParsedFront& front,
+                           const TunnelTransmit& transmit,
+                           const wire::Bytes& bytes);
+
+  RouterConfig config_;
+  std::vector<PortKind> port_kinds_;  // indexed by port id
+  std::map<std::uint8_t, LogicalPort> logical_ports_;
+  std::map<std::uint8_t, TunnelTransmit> tunnel_ports_;
+
+  const tokens::TokenAuthority* authority_ = nullptr;
+  tokens::Ledger* ledger_ = nullptr;
+  tokens::TokenCache token_cache_;
+  std::unordered_set<std::uint64_t> pending_verifies_;
+
+  ControlHandler control_handler_;
+  Shaper shaper_;
+  Stats stats_;
+};
+
+/// 8-byte local endpoint id carried in a port-0 segment's portInfo.
+wire::Bytes encode_endpoint_id(std::uint64_t id);
+std::optional<std::uint64_t> decode_endpoint_id(const wire::Bytes& info);
+
+/// Well-known control endpoint present on every router and host.
+inline constexpr std::uint64_t kControlEndpoint = 0xC0'00'00'00'00'00'00'01ULL;
+
+}  // namespace srp::viper

@@ -1,0 +1,93 @@
+#include "wire/buffer.hpp"
+
+namespace srp::wire {
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::bytes(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void Writer::zeros(std::size_t count) { out_.resize(out_.size() + count, 0); }
+
+void Writer::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > out_.size()) {
+    throw CodecError("Writer::patch_u16 out of range");
+  }
+  out_[offset] = static_cast<std::uint8_t>(v >> 8);
+  out_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void Reader::require(std::size_t count) const {
+  if (remaining() < count) {
+    throw CodecError("Reader: truncated input (need " +
+                     std::to_string(count) + " bytes, have " +
+                     std::to_string(remaining()) + ")");
+  }
+}
+
+std::uint8_t Reader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Bytes Reader::bytes(std::size_t count) {
+  require(count);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += count;
+  return out;
+}
+
+std::span<const std::uint8_t> Reader::view(std::size_t count) {
+  require(count);
+  auto out = data_.subspan(pos_, count);
+  pos_ += count;
+  return out;
+}
+
+void Reader::skip(std::size_t count) {
+  require(count);
+  pos_ += count;
+}
+
+}  // namespace srp::wire

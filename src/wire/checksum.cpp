@@ -1,0 +1,40 @@
+#include "wire/checksum.hpp"
+
+namespace srp::wire {
+namespace {
+
+std::uint32_t sum16(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {  // odd trailing byte, padded with zero
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return static_cast<std::uint16_t>(~sum16(data) & 0xffff);
+}
+
+bool internet_checksum_ok(std::span<const std::uint8_t> data) {
+  return sum16(data) == 0xffff;
+}
+
+std::uint16_t checksum_update16(std::uint16_t old_checksum,
+                                std::uint16_t old_field,
+                                std::uint16_t new_field) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+  sum += static_cast<std::uint16_t>(~old_field);
+  sum += new_field;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace srp::wire

@@ -1,0 +1,25 @@
+// Internet (RFC 1071) checksum — used by the IP baseline, which must pay
+// the per-hop checksum-update cost Sirpent eliminates, and by VMTP's
+// end-to-end packet checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace srp::wire {
+
+/// One's-complement 16-bit Internet checksum of @p data.  Returns the value
+/// to *store* in the checksum field (i.e. already complemented).  A buffer
+/// whose stored checksum is correct sums (via verify) to zero.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// True when @p data, which includes a stored checksum field, verifies.
+bool internet_checksum_ok(std::span<const std::uint8_t> data);
+
+/// Incremental update per RFC 1624 for a 16-bit field change — models the
+/// per-hop checksum rewrite an IP router performs when it decrements TTL.
+std::uint16_t checksum_update16(std::uint16_t old_checksum,
+                                std::uint16_t old_field,
+                                std::uint16_t new_field);
+
+}  // namespace srp::wire

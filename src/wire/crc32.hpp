@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3) — models the Ethernet frame check sequence; used by
+// the corruption-injection tests that exercise Sirpent's "no internetwork
+// checksum, transport detects misdelivery" design point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace srp::wire {
+
+/// CRC-32 of @p data (reflected, polynomial 0xEDB88320, init/final 0xFFFFFFFF
+/// as in Ethernet, gzip, zlib).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace srp::wire

@@ -1,0 +1,44 @@
+// Packet-size model from the paper's header-overhead analysis (§6.2).
+//
+// "Previous network measurements suggest (as a rough approximation) that
+// half the packets are close to minimum size (for the transport layer),
+// one quarter are maximum size and the rest are more or less uniformly
+// distributed between these two extremes.  Using this approximation in
+// general, the average packet size is roughly 3/8 of the maximum packet
+// size."
+#pragma once
+
+#include <cstddef>
+
+#include "sim/random.hpp"
+
+namespace srp::wl {
+
+struct PacketSizeModel {
+  std::size_t min_bytes = 64;
+  std::size_t max_bytes = 2048;
+
+  /// Draws a size: P(min) = 1/2, P(max) = 1/4, else uniform in between.
+  [[nodiscard]] std::size_t sample(sim::Rng& rng) const {
+    const double u = rng.next_double();
+    if (u < 0.5) return min_bytes;
+    if (u < 0.75) return max_bytes;
+    return static_cast<std::size_t>(
+        rng.uniform(static_cast<double>(min_bytes),
+                    static_cast<double>(max_bytes)));
+  }
+
+  /// Closed-form mean of the model.
+  [[nodiscard]] double analytic_mean() const {
+    const auto min = static_cast<double>(min_bytes);
+    const auto max = static_cast<double>(max_bytes);
+    return 0.5 * min + 0.25 * max + 0.25 * (min + max) / 2.0;
+  }
+
+  /// The paper's headline approximation (exact when min == 0).
+  [[nodiscard]] double paper_mean() const {
+    return 3.0 / 8.0 * static_cast<double>(max_bytes);
+  }
+};
+
+}  // namespace srp::wl

@@ -1,0 +1,130 @@
+// Traffic sources: Poisson, on-off bursty, and constant-bit-rate.
+//
+// "The highly bursty traffic characteristic of most computer communication
+// makes the CVC approach ill-suited ... an 8 Mb data stream appears as
+// periodic bursts of packets on a gigabit channel" (paper §1).  Sources
+// emit through a callback; the experiment supplies what "emit" means
+// (usually: build a packet and send it down a host port).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace srp::wl {
+
+/// Poisson arrivals with a given mean inter-arrival time.
+class PoissonSource {
+ public:
+  using Emit = std::function<void()>;
+
+  PoissonSource(sim::Simulator& sim, std::uint64_t seed,
+                sim::Time mean_interval, Emit emit)
+      : sim_(sim), rng_(seed), mean_interval_(mean_interval),
+        emit_(std::move(emit)) {}
+
+  void start() {
+    running_ = true;
+    schedule_next();
+  }
+  void stop() { running_ = false; }
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void schedule_next() {
+    if (!running_) return;
+    sim_.after(rng_.exp_interval(mean_interval_), [this] {
+      if (!running_) return;
+      ++emitted_;
+      emit_();
+      schedule_next();
+    });
+  }
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  sim::Time mean_interval_;
+  Emit emit_;
+  bool running_ = false;
+  std::uint64_t emitted_ = 0;
+};
+
+/// On-off bursty source: exponentially distributed burst and idle periods;
+/// packets emitted back-to-back at a fixed spacing during a burst.
+class OnOffSource {
+ public:
+  using Emit = std::function<void()>;
+
+  OnOffSource(sim::Simulator& sim, std::uint64_t seed, sim::Time mean_on,
+              sim::Time mean_off, sim::Time packet_spacing, Emit emit)
+      : sim_(sim), rng_(seed), mean_on_(mean_on), mean_off_(mean_off),
+        spacing_(packet_spacing), emit_(std::move(emit)) {}
+
+  void start() {
+    running_ = true;
+    begin_burst();
+  }
+  void stop() { running_ = false; }
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void begin_burst() {
+    if (!running_) return;
+    burst_end_ = sim_.now() + rng_.exp_interval(mean_on_);
+    pump();
+  }
+  void pump() {
+    if (!running_) return;
+    if (sim_.now() >= burst_end_) {
+      sim_.after(rng_.exp_interval(mean_off_), [this] { begin_burst(); });
+      return;
+    }
+    ++emitted_;
+    emit_();
+    sim_.after(spacing_, [this] { pump(); });
+  }
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  sim::Time mean_on_;
+  sim::Time mean_off_;
+  sim::Time spacing_;
+  Emit emit_;
+  bool running_ = false;
+  std::uint64_t emitted_ = 0;
+  sim::Time burst_end_ = 0;
+};
+
+/// Constant-bit-rate source (the paper's real-time video traffic).
+class CbrSource {
+ public:
+  using Emit = std::function<void()>;
+
+  CbrSource(sim::Simulator& sim, sim::Time interval, Emit emit)
+      : sim_(sim), interval_(interval), emit_(std::move(emit)) {}
+
+  void start() {
+    running_ = true;
+    tick();
+  }
+  void stop() { running_ = false; }
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void tick() {
+    if (!running_) return;
+    ++emitted_;
+    emit_();
+    sim_.after(interval_, [this] { tick(); });
+  }
+
+  sim::Simulator& sim_;
+  sim::Time interval_;
+  Emit emit_;
+  bool running_ = false;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace srp::wl

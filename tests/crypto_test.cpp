@@ -1,0 +1,102 @@
+// Unit tests for the token crypto substrate.
+#include <gtest/gtest.h>
+
+#include "crypto/siphash.hpp"
+#include "crypto/xtea.hpp"
+
+namespace srp::crypto {
+namespace {
+
+TEST(Xtea, BlockRoundTrip) {
+  const XteaKey key{0x01234567, 0x89ABCDEF, 0xFEDCBA98, 0x76543210};
+  std::uint32_t v[2] = {0x11223344, 0x55667788};
+  const std::uint32_t orig[2] = {v[0], v[1]};
+  xtea_encrypt_block(key, v);
+  EXPECT_TRUE(v[0] != orig[0] || v[1] != orig[1]);
+  xtea_decrypt_block(key, v);
+  EXPECT_EQ(v[0], orig[0]);
+  EXPECT_EQ(v[1], orig[1]);
+}
+
+TEST(Xtea, WrongKeyDoesNotDecrypt) {
+  const XteaKey key{1, 2, 3, 4};
+  const XteaKey bad{1, 2, 3, 5};
+  std::uint32_t v[2] = {42, 99};
+  xtea_encrypt_block(key, v);
+  xtea_decrypt_block(bad, v);
+  EXPECT_FALSE(v[0] == 42 && v[1] == 99);
+}
+
+TEST(Xtea, CbcRoundTripVariousSizes) {
+  const XteaKey key{11, 22, 33, 44};
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 31u, 32u, 100u}) {
+    std::vector<std::uint8_t> plain(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      plain[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    }
+    const auto cipher = xtea_cbc_encrypt(key, plain);
+    EXPECT_EQ(cipher.size() % 8, 0u);
+    EXPECT_GE(cipher.size(), std::max<std::size_t>(n, 8));
+    const auto back = xtea_cbc_decrypt(key, cipher);
+    ASSERT_GE(back.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(back[i], plain[i]);
+    for (std::size_t i = n; i < back.size(); ++i) EXPECT_EQ(back[i], 0);
+  }
+}
+
+TEST(Xtea, CbcPropagatesBlockChaining) {
+  const XteaKey key{5, 6, 7, 8};
+  std::vector<std::uint8_t> plain(32, 0xAA);
+  auto c1 = xtea_cbc_encrypt(key, plain);
+  plain[0] ^= 1;
+  auto c2 = xtea_cbc_encrypt(key, plain);
+  // Changing the first plaintext byte must change every ciphertext block.
+  for (std::size_t block = 0; block < 4; ++block) {
+    bool differs = false;
+    for (std::size_t i = 0; i < 8; ++i) {
+      if (c1[block * 8 + i] != c2[block * 8 + i]) differs = true;
+    }
+    EXPECT_TRUE(differs) << "block " << block;
+  }
+}
+
+TEST(Xtea, CbcDecryptRejectsBadSize) {
+  const XteaKey key{1, 2, 3, 4};
+  std::vector<std::uint8_t> bad(7);
+  EXPECT_THROW(xtea_cbc_decrypt(key, bad), std::invalid_argument);
+  EXPECT_THROW(xtea_cbc_decrypt(key, {}), std::invalid_argument);
+}
+
+// Official SipHash-2-4 reference vectors: key = 00 01 02 ... 0f,
+// input = 00 01 02 ... (n-1).
+TEST(SipHash, ReferenceVectors) {
+  const SipKey key{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+  const std::uint64_t expected[] = {
+      0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+      0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+      0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL, 0x93f5f5799a932462ULL,
+  };
+  std::vector<std::uint8_t> input;
+  for (std::size_t n = 0; n < std::size(expected); ++n) {
+    EXPECT_EQ(siphash24(key, input), expected[n]) << "length " << n;
+    input.push_back(static_cast<std::uint8_t>(n));
+  }
+}
+
+TEST(SipHash, KeyMatters) {
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+  EXPECT_NE(siphash24({1, 2}, msg), siphash24({1, 3}, msg));
+}
+
+TEST(SipHash, LongInput) {
+  std::vector<std::uint8_t> msg(1000);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto h1 = siphash24({42, 43}, msg);
+  msg[999] ^= 1;
+  EXPECT_NE(siphash24({42, 43}, msg), h1);
+}
+
+}  // namespace
+}  // namespace srp::crypto

@@ -1,0 +1,287 @@
+// Unit tests for the link / output-port model — the timing foundation the
+// cut-through results rest on.
+#include <gtest/gtest.h>
+
+#include "net/ethernet.hpp"
+#include "net/lan.hpp"
+#include "net/network.hpp"
+#include "net/port.hpp"
+#include "test_util.hpp"
+
+namespace srp::net {
+namespace {
+
+using test::SinkNode;
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator sim;
+  Network net{sim};
+  PacketFactory packets;
+
+  PacketPtr make_packet(std::size_t size) {
+    return packets.make(wire::Bytes(size, 0x77), sim.now());
+  }
+};
+
+TEST_F(NetFixture, SerializationAndPropagationTiming) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  // 1 Gb/s, 5 us propagation.
+  const auto [pa, pb] = net.duplex(a, b,
+                                   LinkConfig{1e9, 5 * sim::kMicrosecond,
+                                              1500});
+  (void)pb;
+  a.port(pa).enqueue(make_packet(1250), TxMeta{}, 0);  // 10 us on the wire
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  const Arrival& arrival = b.arrivals[0];
+  EXPECT_EQ(arrival.head, 5 * sim::kMicrosecond);
+  EXPECT_EQ(arrival.tail, 15 * sim::kMicrosecond);
+  EXPECT_EQ(arrival.in_port, pb);
+  EXPECT_EQ(arrival.rate_bps, 1e9);
+}
+
+TEST_F(NetFixture, BackToBackPacketsQueue) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  a.port(pa).enqueue(make_packet(1250), TxMeta{}, 0);
+  a.port(pa).enqueue(make_packet(1250), TxMeta{}, 0);
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(b.arrivals[0].head, 0);
+  EXPECT_EQ(b.arrivals[1].head, 10 * sim::kMicrosecond);
+  EXPECT_EQ(a.port(pa).stats().sent, 2u);
+  EXPECT_EQ(a.port(pa).stats().bytes_sent, 2500u);
+}
+
+TEST_F(NetFixture, HigherRankServedFirst) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  // First packet occupies the wire; then low before high is enqueued —
+  // the high-rank one must still come out ahead of the low-rank one.
+  auto first = make_packet(1250);
+  auto low = make_packet(100);
+  auto high = make_packet(100);
+  a.port(pa).enqueue(first, TxMeta{0, false, false}, 0);
+  a.port(pa).enqueue(low, TxMeta{0, false, false}, 0);
+  a.port(pa).enqueue(high, TxMeta{5, false, false}, 0);
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 3u);
+  EXPECT_EQ(b.arrivals[1].packet->id, high->id);
+  EXPECT_EQ(b.arrivals[2].packet->id, low->id);
+}
+
+TEST_F(NetFixture, FifoWithinRank) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  std::vector<std::uint64_t> ids;
+  a.port(pa).enqueue(make_packet(1000), TxMeta{}, 0);
+  for (int i = 0; i < 3; ++i) {
+    auto p = make_packet(100);
+    ids.push_back(p->id);
+    a.port(pa).enqueue(std::move(p), TxMeta{2, false, false}, 0);
+  }
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(b.arrivals[static_cast<std::size_t>(i + 1)].packet->id,
+              ids[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(NetFixture, DropIfBlockedWhileBusy) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  a.port(pa).enqueue(make_packet(1250), TxMeta{}, 0);
+  a.port(pa).enqueue(make_packet(100), TxMeta{0, false, true}, 0);
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(a.port(pa).stats().dropped_blocked, 1u);
+}
+
+TEST_F(NetFixture, DropIfBlockedSendsWhenIdle) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  a.port(pa).enqueue(make_packet(100), TxMeta{0, false, true}, 0);
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(a.port(pa).stats().dropped_blocked, 0u);
+}
+
+TEST_F(NetFixture, PreemptionAbortsAndTruncates) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  auto victim = make_packet(1250);
+  a.port(pa).enqueue(victim, TxMeta{0, false, false}, 0);
+  // Let 2 us of the victim go out, then preempt.
+  sim.run_until(2 * sim::kMicrosecond);
+  auto vip = make_packet(100);
+  a.port(pa).enqueue(vip, TxMeta{7, true, false}, 0);
+  sim.run();
+  EXPECT_TRUE(victim->truncated);
+  EXPECT_EQ(a.port(pa).stats().preempt_aborts, 1u);
+  // The preemptor got the wire immediately after the abort.
+  bool vip_arrived = false;
+  for (const auto& arr : b.arrivals) {
+    if (arr.packet->id == vip->id) {
+      vip_arrived = true;
+      EXPECT_LT(arr.tail, 5 * sim::kMicrosecond);
+    }
+  }
+  EXPECT_TRUE(vip_arrived);
+}
+
+TEST_F(NetFixture, PreemptorDoesNotAbortPreemptor) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  auto first = make_packet(1250);
+  a.port(pa).enqueue(first, TxMeta{7, true, false}, 0);
+  a.port(pa).enqueue(make_packet(100), TxMeta{7, true, false}, 0);
+  sim.run();
+  EXPECT_FALSE(first->truncated);
+  EXPECT_EQ(a.port(pa).stats().preempt_aborts, 0u);
+  EXPECT_EQ(b.arrivals.size(), 2u);
+}
+
+TEST_F(NetFixture, BufferLimitDropsExcess) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  a.port(pa).set_buffer_limit(300);
+  a.port(pa).enqueue(make_packet(1250), TxMeta{}, 0);  // transmitting
+  a.port(pa).enqueue(make_packet(200), TxMeta{}, 0);   // queued (200)
+  a.port(pa).enqueue(make_packet(200), TxMeta{}, 0);   // would exceed
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(a.port(pa).stats().dropped_full, 1u);
+}
+
+TEST_F(NetFixture, LinkDownDropsAndAborts) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  auto victim = make_packet(1250);
+  a.port(pa).enqueue(victim, TxMeta{}, 0);
+  a.port(pa).enqueue(make_packet(100), TxMeta{}, 0);
+  sim.run_until(sim::kMicrosecond);
+  a.port(pa).set_up(false);
+  a.port(pa).enqueue(make_packet(100), TxMeta{}, 0);
+  sim.run();
+  EXPECT_TRUE(victim->truncated);
+  EXPECT_EQ(a.port(pa).stats().dropped_down, 2u);  // queued + new
+  a.port(pa).set_up(true);
+  a.port(pa).enqueue(make_packet(100), TxMeta{}, 0);
+  sim.run();
+  EXPECT_EQ(a.port(pa).stats().sent, 1u);
+}
+
+TEST_F(NetFixture, EarliestStartHonored) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  a.port(pa).enqueue(make_packet(100), TxMeta{}, 7 * sim::kMicrosecond);
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].head, 7 * sim::kMicrosecond);
+}
+
+TEST_F(NetFixture, DropFilterInjectsLoss) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  int count = 0;
+  a.port(pa).drop_filter = [&count](const Packet&) {
+    return ++count % 2 == 0;
+  };
+  for (int i = 0; i < 4; ++i) {
+    a.port(pa).enqueue(make_packet(100), TxMeta{}, 0);
+  }
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(a.port(pa).stats().dropped_injected, 2u);
+}
+
+TEST_F(NetFixture, BusyTimeAccounting) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  a.port(pa).enqueue(make_packet(1250), TxMeta{}, 0);
+  a.port(pa).enqueue(make_packet(625), TxMeta{}, 0);
+  sim.run();
+  EXPECT_EQ(a.port(pa).stats().busy_time, 15 * sim::kMicrosecond);
+}
+
+TEST(MacAddr, FormattingAndBroadcast) {
+  EXPECT_EQ(MacAddr::from_index(0x0102).to_string(), "02:00:00:00:01:02");
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddr::from_index(1).is_broadcast());
+}
+
+TEST(EthernetHeader, RoundTripAndReverse) {
+  EthernetHeader h{MacAddr::from_index(1), MacAddr::from_index(2),
+                   kEtherTypeSirpent};
+  wire::Writer w;
+  h.encode(w);
+  EXPECT_EQ(w.size(), EthernetHeader::kWireSize);
+  wire::Reader r(w.view());
+  EXPECT_EQ(EthernetHeader::decode(r), h);
+  const EthernetHeader rev = h.reversed();
+  EXPECT_EQ(rev.dst, h.src);
+  EXPECT_EQ(rev.src, h.dst);
+  EXPECT_EQ(rev.reversed(), h);
+}
+
+TEST(LanSegment, DeliversByMacAndFloodsBroadcast) {
+  sim::Simulator sim;
+  Network net(sim);
+  PacketFactory packets;
+  auto& lan = net.add<LanSegment>("lan0");
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  auto& c = net.add<SinkNode>("c");
+  const LinkConfig cfg{1e9, sim::kMicrosecond, 1500};
+  const auto [ap, al] = net.duplex(a, lan, cfg);
+  const auto [bp, bl] = net.duplex(b, lan, cfg);
+  const auto [cp, cl] = net.duplex(c, lan, cfg);
+  (void)bp;
+  (void)cp;
+  const auto mac_a = MacAddr::from_index(1);
+  const auto mac_b = MacAddr::from_index(2);
+  const auto mac_c = MacAddr::from_index(3);
+  lan.register_mac(mac_a, al);
+  lan.register_mac(mac_b, bl);
+  lan.register_mac(mac_c, cl);
+
+  auto frame = [&](MacAddr dst) {
+    wire::Writer w;
+    EthernetHeader{dst, mac_a, kEtherTypeSirpent}.encode(w);
+    w.bytes(wire::Bytes(50, 0xEE));
+    return packets.make(std::move(w).take(), sim.now());
+  };
+
+  a.port(ap).enqueue(frame(mac_b), TxMeta{}, 0);
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(c.arrivals.size(), 0u);
+
+  a.port(ap).enqueue(frame(MacAddr::broadcast()), TxMeta{}, 0);
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(c.arrivals.size(), 1u);
+  // Broadcast must not come back to the sender's own port.
+  EXPECT_EQ(a.arrivals.size(), 0u);
+
+  a.port(ap).enqueue(frame(MacAddr::from_index(99)), TxMeta{}, 0);
+  sim.run();
+  EXPECT_EQ(lan.unknown_mac_drops(), 1u);
+}
+
+}  // namespace
+}  // namespace srp::net

@@ -1,0 +1,121 @@
+// Randomized stress test: the event queue against a naive reference model
+// (sorted vector), with interleaved schedules and cancellations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace srp::sim {
+namespace {
+
+class EventQueueStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueStress, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  EventQueue queue;
+
+  struct RefEntry {
+    Time when;
+    int label;
+    bool cancelled = false;
+  };
+  std::map<EventId, RefEntry> reference;
+  std::vector<int> fired;
+  int next_label = 0;
+
+  Time now = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const double action = rng.next_double();
+    if (action < 0.55 || queue.empty()) {
+      // Schedule at a random future time.
+      const Time when = now + static_cast<Time>(rng.uniform_int(0, 1000));
+      const int label = next_label++;
+      const EventId id =
+          queue.schedule(when, [&fired, label] { fired.push_back(label); });
+      reference.emplace(id, RefEntry{when, label});
+    } else if (action < 0.75) {
+      // Cancel a random known id (possibly already run or cancelled).
+      if (!reference.empty()) {
+        auto it = reference.begin();
+        std::advance(it, static_cast<long>(rng.uniform_int(
+                             0, reference.size() - 1)));
+        queue.cancel(it->first);
+        it->second.cancelled = true;
+      }
+    } else {
+      // Pop one event and check it against the reference: it must be the
+      // earliest non-cancelled pending entry (FIFO at equal times = lowest
+      // id, which std::map iteration order provides).
+      if (queue.empty()) continue;
+      const auto [when, cb] = queue.pop();
+      EXPECT_GE(when, now);
+      now = when;
+      cb();
+      ASSERT_FALSE(fired.empty());
+      const int got = fired.back();
+      // Find the expected entry.
+      const RefEntry* best = nullptr;
+      EventId best_id = 0;
+      for (const auto& [id, entry] : reference) {
+        if (entry.cancelled) continue;
+        if (best == nullptr || entry.when < best->when ||
+            (entry.when == best->when && id < best_id)) {
+          best = &entry;
+          best_id = id;
+        }
+      }
+      ASSERT_NE(best, nullptr);
+      EXPECT_EQ(got, best->label);
+      EXPECT_EQ(when, best->when);
+      reference.erase(best_id);
+    }
+
+    // Size invariant: live events match the reference's pending count.
+    std::size_t pending = 0;
+    for (const auto& [id, entry] : reference) {
+      if (!entry.cancelled) ++pending;
+    }
+    ASSERT_EQ(queue.size(), pending) << "step " << step;
+  }
+
+  // Drain: everything left must come out in (time, id) order.
+  Time last = now;
+  while (!queue.empty()) {
+    const auto [when, cb] = queue.pop();
+    EXPECT_GE(when, last);
+    last = when;
+    cb();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueStress,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(SimulatorStress, DeterministicReplay) {
+  auto run_once = [] {
+    Simulator sim;
+    Rng rng(404);
+    std::vector<std::pair<Time, int>> log;
+    std::function<void(int)> spawn = [&](int depth) {
+      log.emplace_back(sim.now(), depth);
+      if (depth >= 6) return;
+      const auto children = rng.uniform_int(0, 2);
+      for (std::uint64_t c = 0; c <= children; ++c) {
+        sim.after(static_cast<Time>(rng.uniform_int(1, 500)),
+                  [&spawn, depth] { spawn(depth + 1); });
+      }
+    };
+    sim.after(1, [&spawn] { spawn(0); });
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace srp::sim

@@ -1,0 +1,204 @@
+// Unit tests for the discrete-event simulator substrate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace srp::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(10, [&] { ran = true; });
+  q.schedule(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 20);
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterRunIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  q.pop().second();
+  q.cancel(id);  // must not corrupt state
+  EXPECT_TRUE(q.empty());
+  q.schedule(5, [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeOnEmptyIsInfinity) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Time> seen;
+  sim.at(100, [&] { seen.push_back(sim.now()); });
+  sim.at(50, [&] { seen.push_back(sim.now()); });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(seen, (std::vector<Time>{50, 100}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sim.after(5, chain);
+  };
+  sim.after(5, chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (Time t = 10; t <= 100; t += 10) {
+    sim.at(t, [&] { ++count; });
+  }
+  sim.run_until(55);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 55);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(50, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.at(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(TimeMath, TransmissionTimeRoundsUp) {
+  // 1500 bytes at 1 Gb/s = 12 microseconds exactly.
+  EXPECT_EQ(byte_time(1500, 1e9), 12 * kMicrosecond);
+  // 1 bit at 10 Gb/s = 100 ps.
+  EXPECT_EQ(transmission_time(1, 1e10), 100);
+  // Never rounds to "finishing early".
+  EXPECT_GE(transmission_time(1, 3e9), 334);
+  EXPECT_EQ(transmission_time(0, 1e9), 0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(123);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(55);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.2);
+}
+
+TEST(Rng, GeometricAtLeastOne) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(rng.geometric(0.3), 1u);
+  }
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng a(42);
+  Rng b = a.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Trace, DisabledByDefaultAndCounts) {
+  Trace trace;
+  trace.emit(1, "x", "hello");
+  EXPECT_TRUE(trace.records().empty());
+  trace.enable();
+  trace.emit(2, "x", "hello world");
+  trace.emit(3, "y", "goodbye");
+  EXPECT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.count_containing("hello"), 1u);
+  EXPECT_EQ(trace.count_containing("o"), 2u);
+}
+
+}  // namespace
+}  // namespace srp::sim

@@ -1,0 +1,64 @@
+// Shared helpers for the Sirpent test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/segment.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "viper/router.hpp"
+
+namespace srp::test {
+
+/// Node that records every arrival for assertions.
+class SinkNode : public net::PortedNode {
+ public:
+  SinkNode(sim::Simulator& sim, std::string name)
+      : net::PortedNode(sim, std::move(name)) {}
+
+  void on_arrival(const net::Arrival& arrival) override {
+    arrivals.push_back(arrival);
+  }
+
+  std::vector<net::Arrival> arrivals;
+};
+
+/// A point-to-point hop segment (VNT set, no token).
+inline core::HeaderSegment p2p_segment(std::uint8_t port,
+                                       std::uint8_t priority = 0) {
+  core::HeaderSegment seg;
+  seg.port = port;
+  seg.tos.priority = priority;
+  seg.flags.vnt = true;
+  return seg;
+}
+
+/// A final local-delivery segment addressed to @p endpoint (0 = default
+/// dispatcher).
+inline core::HeaderSegment local_segment(std::uint64_t endpoint = 0) {
+  core::HeaderSegment seg;
+  seg.port = core::kLocalPort;
+  if (endpoint != 0) {
+    seg.port_info = viper::encode_endpoint_id(endpoint);
+  } else {
+    seg.flags.vnt = true;
+  }
+  return seg;
+}
+
+/// Bytes helper.
+inline wire::Bytes bytes_of(std::initializer_list<std::uint8_t> list) {
+  return wire::Bytes(list);
+}
+
+/// Payload of n distinct bytes.
+inline wire::Bytes pattern_bytes(std::size_t n, std::uint8_t seed = 1) {
+  wire::Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return out;
+}
+
+}  // namespace srp::test

@@ -1,0 +1,250 @@
+// Unit + property tests for the VIPER wire codec (paper Figure 1).
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "viper/codec.hpp"
+
+namespace srp::viper {
+namespace {
+
+core::HeaderSegment sample_segment() {
+  core::HeaderSegment seg;
+  seg.port = 42;
+  seg.tos.priority = 6;
+  seg.token = {1, 2, 3, 4, 5};
+  seg.port_info = {9, 8, 7};
+  return seg;
+}
+
+TEST(ViperCodec, FixedPrefixLayout) {
+  // Figure 1: PortInfoLength | PortTokenLength | Port | Flags+Priority.
+  wire::Writer w;
+  encode_segment(w, sample_segment());
+  const wire::Bytes& bytes = w.view();
+  EXPECT_EQ(bytes[0], 3);   // PortInfoLength
+  EXPECT_EQ(bytes[1], 5);   // PortTokenLength
+  EXPECT_EQ(bytes[2], 42);  // Port
+  EXPECT_EQ(bytes[3] & 0x0F, 6);  // Priority nibble
+  // Token precedes PortInfo.
+  EXPECT_EQ(bytes[4], 1);
+  EXPECT_EQ(bytes[9], 9);
+}
+
+TEST(ViperCodec, MinimumSegmentIsFourBytes) {
+  core::HeaderSegment seg;
+  seg.flags.vnt = true;
+  EXPECT_EQ(segment_wire_size(seg), 4u);
+  wire::Writer w;
+  encode_segment(w, seg);
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(ViperCodec, SegmentRoundTrip) {
+  const core::HeaderSegment seg = sample_segment();
+  wire::Writer w;
+  encode_segment(w, seg);
+  EXPECT_EQ(w.size(), segment_wire_size(seg));
+  wire::Reader r(w.view());
+  const core::HeaderSegment back = decode_segment(r);
+  EXPECT_EQ(back, seg);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ViperCodec, FlagsRoundTrip) {
+  for (int bits = 0; bits < 16; ++bits) {
+    core::HeaderSegment seg;
+    seg.flags.vnt = (bits & 8) != 0;
+    seg.flags.dib = (bits & 4) != 0;
+    seg.flags.rpf = (bits & 2) != 0;
+    seg.flags.trm = (bits & 1) != 0;
+    seg.tos.drop_if_blocked = seg.flags.dib;
+    wire::Writer w;
+    encode_segment(w, seg);
+    wire::Reader r(w.view());
+    const core::HeaderSegment back = decode_segment(r);
+    EXPECT_EQ(back.flags, seg.flags) << bits;
+    EXPECT_EQ(back.tos.drop_if_blocked, seg.flags.dib);
+  }
+}
+
+TEST(ViperCodec, LengthEscapeAbove254) {
+  core::HeaderSegment seg;
+  seg.token.assign(300, 0xAB);
+  seg.port_info.assign(1000, 0xCD);
+  // 4 fixed + (4+300) + (4+1000).
+  EXPECT_EQ(segment_wire_size(seg), 4u + 304 + 1004);
+  wire::Writer w;
+  encode_segment(w, seg);
+  EXPECT_EQ(w.view()[0], 255);  // escaped PortInfoLength
+  EXPECT_EQ(w.view()[1], 255);  // escaped PortTokenLength
+  wire::Reader r(w.view());
+  const core::HeaderSegment back = decode_segment(r);
+  EXPECT_EQ(back, seg);
+}
+
+TEST(ViperCodec, Exactly254NotEscaped) {
+  core::HeaderSegment seg;
+  seg.token.assign(254, 0x11);
+  wire::Writer w;
+  encode_segment(w, seg);
+  EXPECT_EQ(w.view()[1], 254);
+  wire::Reader r(w.view());
+  EXPECT_EQ(decode_segment(r), seg);
+}
+
+TEST(ViperCodec, VntDiscardsPaddingInfo) {
+  // "The portInfoLength field may still be non-zero if the PortInfo field
+  // is used for padding."
+  wire::Writer w;
+  w.u8(4);   // PortInfoLength: 4 bytes of padding
+  w.u8(0);   // no token
+  w.u8(9);   // port
+  w.u8(0x80);  // VNT set, priority 0
+  w.u32(0);  // the padding
+  wire::Reader r(w.view());
+  const core::HeaderSegment seg = decode_segment(r);
+  EXPECT_TRUE(seg.flags.vnt);
+  EXPECT_TRUE(seg.port_info.empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ViperCodec, TruncatedInputThrows) {
+  wire::Writer w;
+  encode_segment(w, sample_segment());
+  wire::Bytes bytes = w.view();
+  bytes.resize(bytes.size() - 2);
+  wire::Reader r(bytes);
+  EXPECT_THROW(decode_segment(r), wire::CodecError);
+}
+
+TEST(ViperCodec, PacketEncodeAndDeliveredBody) {
+  core::SourceRoute route;
+  core::HeaderSegment local;
+  local.port = core::kLocalPort;
+  local.flags.vnt = true;
+  route.segments.push_back(local);
+  const wire::Bytes data{10, 20, 30};
+  const wire::Bytes packet = encode_packet(route, data);
+
+  wire::Reader r(packet);
+  const core::HeaderSegment seg = decode_segment(r);
+  EXPECT_EQ(seg.port, core::kLocalPort);
+  const DeliveredBody body = decode_delivered_body(r);
+  EXPECT_EQ(body.data, data);
+  EXPECT_TRUE(body.trailer.empty());
+}
+
+TEST(ViperCodec, PacketRejectsOversizeRoute) {
+  core::SourceRoute route;
+  route.segments.resize(core::kMaxSegments + 1);
+  for (auto& s : route.segments) s.flags.vnt = true;
+  EXPECT_THROW(encode_packet(route, {}), wire::CodecError);
+  core::SourceRoute empty;
+  EXPECT_THROW(encode_packet(empty, {}), wire::CodecError);
+}
+
+TEST(ViperCodec, PacketRejectsMarkerInRoute) {
+  core::SourceRoute route;
+  route.segments.push_back(core::HeaderSegment::truncation_marker());
+  EXPECT_THROW(encode_packet(route, {}), wire::CodecError);
+}
+
+TEST(ViperCodec, DeliveredBodyRecoversTruncationMark) {
+  // Simulate a packet whose data was cut and a TRM mark appended.
+  wire::Writer w;
+  w.u16(100);  // claims 100 bytes of data
+  w.bytes(wire::Bytes(40, 0x55));  // only 40 arrived
+  encode_segment(w, core::HeaderSegment::truncation_marker());
+  wire::Reader r(w.view());
+  const DeliveredBody body = decode_delivered_body(r);
+  EXPECT_EQ(body.data.size(), 40u);
+  ASSERT_EQ(body.trailer.size(), 1u);
+  EXPECT_TRUE(body.trailer[0].flags.trm);
+}
+
+TEST(ViperCodec, DeliveredBodyTruncatedWithoutMark) {
+  wire::Writer w;
+  w.u16(100);
+  w.bytes(wire::Bytes(40, 0x55));
+  wire::Reader r(w.view());
+  const DeliveredBody body = decode_delivered_body(r);
+  EXPECT_EQ(body.data.size(), 40u);
+  EXPECT_TRUE(body.trailer.empty());
+}
+
+// Property: random segments survive an encode/decode round trip.
+TEST(ViperCodecProperty, RandomSegmentRoundTrip) {
+  sim::Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    core::HeaderSegment seg;
+    seg.port = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    seg.tos.priority = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+    seg.flags.vnt = rng.chance(0.3);
+    seg.flags.dib = rng.chance(0.3);
+    seg.flags.rpf = rng.chance(0.3);
+    seg.tos.drop_if_blocked = seg.flags.dib;
+    const auto token_len = rng.uniform_int(0, 300);
+    seg.token.resize(token_len);
+    for (auto& b : seg.token) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    if (!seg.flags.vnt) {
+      const auto info_len = rng.uniform_int(0, 300);
+      seg.port_info.resize(info_len);
+      for (auto& b : seg.port_info) {
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      }
+    }
+    wire::Writer w;
+    encode_segment(w, seg);
+    EXPECT_EQ(w.size(), segment_wire_size(seg));
+    wire::Reader r(w.view());
+    const core::HeaderSegment back = decode_segment(r);
+    EXPECT_EQ(back, seg);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+// Property: random byte soup never crashes the decoder — it either parses
+// or throws CodecError.
+TEST(ViperCodecProperty, FuzzDecodeNeverCrashes) {
+  sim::Rng rng(777);
+  for (int i = 0; i < 2000; ++i) {
+    wire::Bytes junk(rng.uniform_int(0, 64));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    wire::Reader r(junk);
+    try {
+      while (!r.done()) (void)decode_segment(r);
+    } catch (const wire::CodecError&) {
+      // acceptable outcome
+    }
+  }
+}
+
+// The paper's scaling headroom: 48 segments stay within ~500 bytes when
+// hops are token-less point-to-point/LAN mixes.
+TEST(ViperCodec, FortyEightHopRouteSize) {
+  core::SourceRoute route;
+  for (int i = 0; i < 47; ++i) {
+    core::HeaderSegment seg;
+    seg.port = static_cast<std::uint8_t>(i % 255 + 1);
+    if (i % 5 == 0) {
+      seg.port_info.assign(14, 0);  // occasional Ethernet hop
+    } else {
+      seg.flags.vnt = true;
+    }
+    route.segments.push_back(seg);
+  }
+  core::HeaderSegment local;
+  local.port = core::kLocalPort;
+  local.flags.vnt = true;
+  route.segments.push_back(local);
+  const wire::Bytes encoded = encode_route(route);
+  EXPECT_LE(encoded.size(), 500u);
+  EXPECT_EQ(route.segments.size(), core::kMaxSegments);
+}
+
+}  // namespace
+}  // namespace srp::viper

@@ -1,0 +1,330 @@
+// Integration tests for the VMTP-style transport over Sirpent (paper §4):
+// request/response on return routes, packet groups, selective
+// retransmission, misdelivery detection, timestamps/MPL, end-to-end
+// checksums.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "directory/fabric.hpp"
+#include "test_util.hpp"
+#include "transport/header.hpp"
+#include "transport/timestamp.hpp"
+#include "transport/vmtp.hpp"
+
+namespace srp::vmtp {
+namespace {
+
+using test::pattern_bytes;
+
+TEST(TransportHeader, RoundTripAndChecksum) {
+  Header h;
+  h.src_entity = 0x1111222233334444ULL;
+  h.dst_entity = 0x5555666677778888ULL;
+  h.transaction = 99;
+  h.type = PacketType::kResponse;
+  h.group_size = 4;
+  h.index = 2;
+  h.flags = kFlagRetransmission;
+  h.timestamp = 123456;
+  h.mask = 0xB;
+  const wire::Bytes payload = pattern_bytes(33);
+  wire::Bytes packet = encode_transport_packet(h, payload);
+  const auto back = decode_transport_packet(packet);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->header, h);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         back->payload.begin(), back->payload.end()));
+
+  // Any single corrupted byte is caught by the end-to-end checksum.
+  for (std::size_t i = 0; i < packet.size(); i += 7) {
+    wire::Bytes bad = packet;
+    bad[i] ^= 0x20;
+    EXPECT_FALSE(decode_transport_packet(bad).has_value()) << i;
+  }
+}
+
+TEST(TransportHeader, RejectsBadStructure) {
+  EXPECT_FALSE(decode_transport_packet(wire::Bytes(10, 0)).has_value());
+  Header h;
+  h.group_size = 2;
+  h.index = 1;
+  wire::Bytes ok = encode_transport_packet(h, {});
+  // index >= group_size: rebuild with index 2 (invalid).
+  Header bad_h = h;
+  bad_h.index = 2;
+  wire::Bytes bad = encode_transport_packet(bad_h, {});
+  EXPECT_FALSE(decode_transport_packet(bad).has_value());
+  EXPECT_TRUE(decode_transport_packet(ok).has_value());
+}
+
+TEST(Timestamps, WraparoundDiff) {
+  EXPECT_EQ(timestamp_diff_ms(100, 50), 50);
+  EXPECT_EQ(timestamp_diff_ms(50, 100), -50);
+  // Across the 2^32 wrap.
+  EXPECT_EQ(timestamp_diff_ms(5, 0xFFFFFFF0u), 21);
+  EXPECT_EQ(timestamp_diff_ms(0xFFFFFFF0u, 5), -21);
+}
+
+TEST(Timestamps, HostClockNeverReturnsReservedZero) {
+  sim::Simulator sim;
+  HostClock clock(sim, 0);
+  EXPECT_NE(clock.now_ms(), kInvalidTimestamp);
+}
+
+TEST(Timestamps, SkewVisibleInAge) {
+  sim::Simulator sim;
+  HostClock sender(sim, 0);
+  HostClock receiver(sim, 2 * sim::kSecond);  // runs 2 s ahead
+  const std::uint32_t stamp = sender.now_ms();
+  EXPECT_NEAR(static_cast<double>(receiver.age_ms(stamp)), 2000.0, 2.0);
+}
+
+/// Two hosts, two routers, VMTP endpoints on both ends.
+struct VmtpFixture : ::testing::Test {
+  sim::Simulator sim;
+  dir::Fabric fabric{sim};
+  viper::ViperHost* client_host = nullptr;
+  viper::ViperRouter* r1 = nullptr;
+  viper::ViperRouter* r2 = nullptr;
+  viper::ViperHost* server_host = nullptr;
+  std::unique_ptr<VmtpEndpoint> client;
+  std::unique_ptr<VmtpEndpoint> server;
+  dir::IssuedRoute route;
+
+  static constexpr std::uint64_t kClientId = 0xC11E;
+  static constexpr std::uint64_t kServerId = 0x5E44;
+
+  void build(VmtpConfig client_config = {}, VmtpConfig server_config = {}) {
+    client_host = &fabric.add_host("client.test");
+    r1 = &fabric.add_router("r1");
+    r2 = &fabric.add_router("r2");
+    server_host = &fabric.add_host("server.test");
+    fabric.connect(*client_host, *r1);
+    fabric.connect(*r1, *r2);
+    fabric.connect(*r2, *server_host);
+    client = std::make_unique<VmtpEndpoint>(sim, *client_host, kClientId,
+                                            client_config);
+    server = std::make_unique<VmtpEndpoint>(sim, *server_host, kServerId,
+                                            server_config);
+    // Echo server that prepends a marker byte.
+    server->serve([](std::span<const std::uint8_t> request,
+                     const viper::Delivery&) {
+      wire::Bytes response{0xEE};
+      response.insert(response.end(), request.begin(), request.end());
+      return response;
+    });
+    dir::QueryOptions options;
+    options.dest_endpoint = kServerId;
+    const auto routes = fabric.directory().query(
+        fabric.id_of(*client_host), "server.test", options);
+    ASSERT_FALSE(routes.empty());
+    route = routes.front();
+  }
+};
+
+TEST_F(VmtpFixture, SimpleRpcRoundTrip) {
+  build();
+  std::optional<Result> result;
+  const wire::Bytes request = pattern_bytes(100);
+  client->invoke(route, kServerId, request,
+                 [&](Result r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  ASSERT_EQ(result->response.size(), 101u);
+  EXPECT_EQ(result->response[0], 0xEE);
+  EXPECT_EQ(result->retransmissions, 0);
+  EXPECT_GT(result->rtt, 0);
+  EXPECT_LT(result->rtt, sim::kMillisecond);
+  EXPECT_EQ(server->stats().requests_served, 1u);
+  EXPECT_EQ(client->stats().responses_received, 1u);
+}
+
+TEST_F(VmtpFixture, LargeMessageUsesPacketGroup) {
+  build();
+  std::optional<Result> result;
+  const wire::Bytes request = pattern_bytes(8000);  // 8 packets of 1 KB
+  client->invoke(route, kServerId, request,
+                 [&](Result r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->response.size(), 8001u);
+  // Verify content survived segmentation + reassembly end to end.
+  for (std::size_t i = 0; i < 8000; ++i) {
+    ASSERT_EQ(result->response[i + 1], request[i]) << i;
+  }
+  EXPECT_GE(client->stats().data_packets_sent, 8u);
+}
+
+TEST_F(VmtpFixture, OversizeMessageRejected) {
+  build();
+  const wire::Bytes request(17 * 1024, 0xAA);  // > 16 packets
+  EXPECT_THROW(client->invoke(route, kServerId, request, [](Result) {}),
+               std::invalid_argument);
+}
+
+TEST_F(VmtpFixture, SelectiveRetransmissionRepairsGroup) {
+  VmtpConfig config;
+  config.gap_timeout = 200 * sim::kMicrosecond;
+  build(config, config);
+  // Drop exactly two request data packets on their first pass r1 -> r2.
+  int dropped = 0;
+  int seen = 0;
+  r1->port(2).drop_filter = [&](const net::Packet&) {
+    ++seen;
+    if ((seen == 3 || seen == 5) && dropped < 2) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  };
+  std::optional<Result> result;
+  const wire::Bytes request = pattern_bytes(6000);  // 6 packets
+  client->invoke(route, kServerId, request,
+                 [&](Result r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(result->response.size(), 6001u);
+  EXPECT_EQ(dropped, 2);
+  // The repair went through NACK + selective retransmission, not a full
+  // group resend.
+  EXPECT_GT(server->stats().nacks_sent, 0u);
+  EXPECT_GT(client->stats().nacks_received, 0u);
+  EXPECT_GE(client->stats().retransmitted_packets, 2u);
+}
+
+TEST_F(VmtpFixture, TimeoutFailsAfterRetries) {
+  VmtpConfig config;
+  config.min_rto = sim::kMillisecond;
+  config.max_retries = 2;
+  build(config, config);
+  fabric.fail_link_silently(*r1, *r2);
+  bool failure_hook_fired = false;
+  client->set_failure_hook([&] { failure_hook_fired = true; });
+  std::optional<Result> result;
+  client->invoke(route, kServerId, pattern_bytes(10),
+                 [&](Result r) { result = std::move(r); });
+  sim.run_until(sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_FALSE(result->error.empty());
+  EXPECT_TRUE(failure_hook_fired);
+  EXPECT_EQ(client->stats().failures, 1u);
+  EXPECT_GE(client->stats().timeouts, 3u);
+}
+
+TEST_F(VmtpFixture, DuplicateRequestGetsCachedResponse) {
+  VmtpConfig config;
+  config.min_rto = 300 * sim::kMicrosecond;  // below the response RTT? no:
+  build(config, config);
+  // Drop the first *response* pass r2 -> r1 so the client times out and
+  // retransmits the request; the server must answer from its served cache
+  // without re-invoking the handler.
+  int responses_dropped = 0;
+  r2->port(1).drop_filter = [&](const net::Packet&) {
+    if (responses_dropped == 0) {
+      ++responses_dropped;
+      return true;
+    }
+    return false;
+  };
+  std::optional<Result> result;
+  client->invoke(route, kServerId, pattern_bytes(10),
+                 [&](Result r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(server->stats().requests_served, 1u);  // handler ran once
+  EXPECT_EQ(server->stats().duplicate_requests, 1u);
+}
+
+TEST_F(VmtpFixture, MisdeliveryDetectedByEntityId) {
+  build();
+  std::optional<Result> result;
+  client->invoke(route, /*server_entity=*/0xBAD, pattern_bytes(10),
+                 [&](Result r) { result = std::move(r); });
+  // The server host delivers to the endpoint named in the VIPER segment
+  // (kServerId), but the transport header says 0xBAD: the endpoint must
+  // reject it ("unique independent of the network layer addressing").
+  sim.run_until(50 * sim::kMillisecond);
+  EXPECT_GE(server->stats().misdeliveries, 1u);  // retries also rejected
+  EXPECT_EQ(server->stats().requests_served, 0u);
+}
+
+TEST_F(VmtpFixture, OldPacketsDiscardedByMpl) {
+  VmtpConfig client_config;
+  // The client's clock runs far behind: its timestamps look ancient.
+  client_config.clock_offset = -120 * sim::kSecond;
+  VmtpConfig server_config;
+  server_config.mpl_ms = 60'000;
+  build(client_config, server_config);
+  std::optional<Result> result;
+  client->invoke(route, kServerId, pattern_bytes(10),
+                 [&](Result r) { result = std::move(r); });
+  sim.run_until(20 * sim::kMillisecond);
+  EXPECT_GE(server->stats().mpl_discards, 1u);
+  EXPECT_EQ(server->stats().requests_served, 0u);
+}
+
+TEST_F(VmtpFixture, ToleratedSkewStillDelivers) {
+  VmtpConfig client_config;
+  client_config.clock_offset = 2 * sim::kSecond;  // ahead, within skew
+  build(client_config, {});
+  std::optional<Result> result;
+  client->invoke(route, kServerId, pattern_bytes(10),
+                 [&](Result r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+}
+
+TEST_F(VmtpFixture, CorruptedPacketCaughtByChecksum) {
+  build();
+  // Bypass the transport: hand the server host a damaged transport packet.
+  Header h;
+  h.src_entity = kClientId;
+  h.dst_entity = kServerId;
+  h.transaction = 7;
+  wire::Bytes packet = encode_transport_packet(h, pattern_bytes(20));
+  packet[Header::kWireSize + 3] ^= 0x10;  // corrupt payload
+  viper::SendOptions options;
+  options.out_port = route.host_out_port;
+  core::SourceRoute viper_route = route.route;
+  client_host->send(viper_route, packet, options);
+  sim.run();
+  EXPECT_EQ(server->stats().checksum_drops, 1u);
+  EXPECT_EQ(server->stats().requests_served, 0u);
+}
+
+TEST_F(VmtpFixture, RatePacingSpacesGroupPackets) {
+  VmtpConfig paced;
+  paced.send_rate_bps = 1e7;  // 10 Mb/s: ~0.85 ms per 1 KB packet
+  build(paced, {});
+  std::optional<Result> result;
+  client->invoke(route, kServerId, pattern_bytes(4000),
+                 [&](Result r) { result = std::move(r); });
+  const sim::Time start = sim.now();
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  // 4 spaced packets at ~0.85 ms apart: the RTT reflects the pacing.
+  EXPECT_GT(result->rtt - start, 2 * sim::kMillisecond);
+}
+
+TEST_F(VmtpFixture, RttFeedsRouteCacheHook) {
+  build();
+  std::vector<sim::Time> rtts;
+  client->set_rtt_hook([&](sim::Time rtt) { rtts.push_back(rtt); });
+  for (int i = 0; i < 3; ++i) {
+    client->invoke(route, kServerId, pattern_bytes(10), [](Result) {});
+  }
+  sim.run();
+  EXPECT_EQ(rtts.size(), 3u);
+  EXPECT_GT(client->smoothed_rtt(), 0);
+}
+
+}  // namespace
+}  // namespace srp::vmtp

@@ -1,0 +1,156 @@
+// Statistical tests for the traffic sources and the packet-size model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+#include "workload/sizes.hpp"
+#include "workload/sources.hpp"
+
+namespace srp::wl {
+namespace {
+
+TEST(PacketSizeModel, ProportionsMatchThePaper) {
+  // "half the packets are close to minimum size, one quarter are maximum
+  // size and the rest are more or less uniformly distributed between".
+  PacketSizeModel model;
+  model.min_bytes = 64;
+  model.max_bytes = 1500;
+  sim::Rng rng(31337);
+  int at_min = 0, at_max = 0, between = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t size = model.sample(rng);
+    ASSERT_GE(size, model.min_bytes);
+    ASSERT_LE(size, model.max_bytes);
+    if (size == model.min_bytes) {
+      ++at_min;
+    } else if (size == model.max_bytes) {
+      ++at_max;
+    } else {
+      ++between;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(at_min) / n, 0.50, 0.01);
+  EXPECT_NEAR(static_cast<double>(at_max) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(between) / n, 0.25, 0.01);
+}
+
+TEST(PacketSizeModel, SampledMeanMatchesAnalytic) {
+  PacketSizeModel model;
+  model.min_bytes = 0;
+  model.max_bytes = 2048;
+  sim::Rng rng(7);
+  stats::Summary s;
+  for (int i = 0; i < 100'000; ++i) {
+    s.add(static_cast<double>(model.sample(rng)));
+  }
+  EXPECT_NEAR(s.mean(), model.analytic_mean(), 5.0);
+  // The paper's 3/8 rule is exact when min ~ 0.
+  EXPECT_NEAR(model.analytic_mean(), model.paper_mean(), 1.0);
+  EXPECT_DOUBLE_EQ(model.paper_mean(), 768.0);
+}
+
+TEST(PoissonSource, InterArrivalsAreExponential) {
+  sim::Simulator sim;
+  std::vector<sim::Time> arrivals;
+  PoissonSource source(sim, 99, sim::kMillisecond,
+                       [&] { arrivals.push_back(sim.now()); });
+  source.start();
+  sim.run_until(20 * sim::kSecond);
+  source.stop();
+  ASSERT_GT(arrivals.size(), 10'000u);
+  stats::Summary gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.add(sim::to_seconds(arrivals[i] - arrivals[i - 1]));
+  }
+  // Exponential: mean 1 ms, coefficient of variation 1.
+  EXPECT_NEAR(gaps.mean(), 1e-3, 5e-5);
+  EXPECT_NEAR(gaps.stddev() / gaps.mean(), 1.0, 0.05);
+  EXPECT_EQ(source.emitted(), arrivals.size());
+}
+
+TEST(OnOffSource, DutyCycleMatchesConfiguration) {
+  sim::Simulator sim;
+  std::uint64_t emitted = 0;
+  // 2 ms bursts, 6 ms idle: 25% duty cycle; 100 us spacing in-burst
+  // => ~2.5 packets/ms * 0.25 = 2500 packets/second.
+  OnOffSource source(sim, 4242, 2 * sim::kMillisecond,
+                     6 * sim::kMillisecond, 100 * sim::kMicrosecond,
+                     [&] { ++emitted; });
+  source.start();
+  sim.run_until(10 * sim::kSecond);
+  source.stop();
+  const double rate = static_cast<double>(emitted) / 10.0;
+  EXPECT_NEAR(rate, 2500.0, 400.0);
+}
+
+TEST(OnOffSource, IsActuallyBursty) {
+  // Count arrivals per 1 ms bin; an on-off source must show near-empty
+  // and near-full bins, unlike CBR.
+  sim::Simulator sim;
+  std::vector<int> bins(1000, 0);
+  OnOffSource source(sim, 5, 2 * sim::kMillisecond, 6 * sim::kMillisecond,
+                     100 * sim::kMicrosecond, [&] {
+                       const auto bin = static_cast<std::size_t>(
+                           sim.now() / sim::kMillisecond);
+                       if (bin < bins.size()) ++bins[bin];
+                     });
+  source.start();
+  sim.run_until(sim::kSecond);
+  source.stop();
+  int empty = 0, busy = 0;
+  for (int b : bins) {
+    if (b == 0) ++empty;
+    if (b >= 8) ++busy;  // >= 80% of the in-burst rate
+  }
+  EXPECT_GT(empty, 300);
+  EXPECT_GT(busy, 100);
+}
+
+TEST(CbrSource, PerfectlyRegular) {
+  sim::Simulator sim;
+  std::vector<sim::Time> arrivals;
+  CbrSource source(sim, 33 * sim::kMicrosecond,
+                   [&] { arrivals.push_back(sim.now()); });
+  source.start();
+  sim.run_until(10 * sim::kMillisecond);
+  source.stop();
+  ASSERT_GT(arrivals.size(), 100u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i] - arrivals[i - 1], 33 * sim::kMicrosecond);
+  }
+}
+
+TEST(Sources, StopHaltsEmission) {
+  sim::Simulator sim;
+  int count = 0;
+  CbrSource source(sim, sim::kMillisecond, [&] { ++count; });
+  source.start();
+  sim.run_until(5 * sim::kMillisecond + 1);
+  source.stop();
+  const int at_stop = count;
+  sim.run();
+  EXPECT_EQ(count, at_stop);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Sources, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    std::vector<sim::Time> arrivals;
+    PoissonSource source(sim, 1234, sim::kMillisecond,
+                         [&] { arrivals.push_back(sim.now()); });
+    source.start();
+    sim.run_until(100 * sim::kMillisecond);
+    source.stop();
+    return arrivals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace srp::wl
