@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logical_links.dir/bench_logical_links.cpp.o"
+  "CMakeFiles/bench_logical_links.dir/bench_logical_links.cpp.o.d"
+  "bench_logical_links"
+  "bench_logical_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logical_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

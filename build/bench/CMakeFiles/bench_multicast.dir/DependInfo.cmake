@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_multicast.cpp" "bench/CMakeFiles/bench_multicast.dir/bench_multicast.cpp.o" "gcc" "bench/CMakeFiles/bench_multicast.dir/bench_multicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/directory/CMakeFiles/srp_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/srp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/congestion/CMakeFiles/srp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/viper/CMakeFiles/srp_viper.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/srp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/srp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokens/CMakeFiles/srp_tokens.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/srp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/srp_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

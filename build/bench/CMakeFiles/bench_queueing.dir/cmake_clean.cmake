@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queueing.dir/bench_queueing.cpp.o"
+  "CMakeFiles/bench_queueing.dir/bench_queueing.cpp.o.d"
+  "bench_queueing"
+  "bench_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_switching_delay.dir/bench_switching_delay.cpp.o"
+  "CMakeFiles/bench_switching_delay.dir/bench_switching_delay.cpp.o.d"
+  "bench_switching_delay"
+  "bench_switching_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switching_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

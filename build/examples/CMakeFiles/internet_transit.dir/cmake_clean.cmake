@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_transit.dir/internet_transit.cpp.o"
+  "CMakeFiles/internet_transit.dir/internet_transit.cpp.o.d"
+  "internet_transit"
+  "internet_transit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_transit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactional_rpc.dir/transactional_rpc.cpp.o"
+  "CMakeFiles/transactional_rpc.dir/transactional_rpc.cpp.o.d"
+  "transactional_rpc"
+  "transactional_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactional_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

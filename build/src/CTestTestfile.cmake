@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("wire")
+subdirs("crypto")
+subdirs("stats")
+subdirs("net")
+subdirs("core")
+subdirs("viper")
+subdirs("tokens")
+subdirs("congestion")
+subdirs("directory")
+subdirs("transport")
+subdirs("ip")
+subdirs("cvc")
+subdirs("workload")
+subdirs("interop")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_cc.dir/controller.cpp.o"
+  "CMakeFiles/srp_cc.dir/controller.cpp.o.d"
+  "CMakeFiles/srp_cc.dir/messages.cpp.o"
+  "CMakeFiles/srp_cc.dir/messages.cpp.o.d"
+  "CMakeFiles/srp_cc.dir/throttle.cpp.o"
+  "CMakeFiles/srp_cc.dir/throttle.cpp.o.d"
+  "libsrp_cc.a"
+  "libsrp_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_core.dir/multicast.cpp.o"
+  "CMakeFiles/srp_core.dir/multicast.cpp.o.d"
+  "CMakeFiles/srp_core.dir/trailer.cpp.o"
+  "CMakeFiles/srp_core.dir/trailer.cpp.o.d"
+  "libsrp_core.a"
+  "libsrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

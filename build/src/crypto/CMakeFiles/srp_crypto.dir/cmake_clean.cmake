@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_crypto.dir/siphash.cpp.o"
+  "CMakeFiles/srp_crypto.dir/siphash.cpp.o.d"
+  "CMakeFiles/srp_crypto.dir/xtea.cpp.o"
+  "CMakeFiles/srp_crypto.dir/xtea.cpp.o.d"
+  "libsrp_crypto.a"
+  "libsrp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cvc/host.cpp" "src/cvc/CMakeFiles/srp_cvc.dir/host.cpp.o" "gcc" "src/cvc/CMakeFiles/srp_cvc.dir/host.cpp.o.d"
+  "/root/repo/src/cvc/switch.cpp" "src/cvc/CMakeFiles/srp_cvc.dir/switch.cpp.o" "gcc" "src/cvc/CMakeFiles/srp_cvc.dir/switch.cpp.o.d"
+  "/root/repo/src/cvc/wire.cpp" "src/cvc/CMakeFiles/srp_cvc.dir/wire.cpp.o" "gcc" "src/cvc/CMakeFiles/srp_cvc.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/srp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/srp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_cvc.dir/host.cpp.o"
+  "CMakeFiles/srp_cvc.dir/host.cpp.o.d"
+  "CMakeFiles/srp_cvc.dir/switch.cpp.o"
+  "CMakeFiles/srp_cvc.dir/switch.cpp.o.d"
+  "CMakeFiles/srp_cvc.dir/wire.cpp.o"
+  "CMakeFiles/srp_cvc.dir/wire.cpp.o.d"
+  "libsrp_cvc.a"
+  "libsrp_cvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_cvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/directory/client.cpp" "src/directory/CMakeFiles/srp_dir.dir/client.cpp.o" "gcc" "src/directory/CMakeFiles/srp_dir.dir/client.cpp.o.d"
+  "/root/repo/src/directory/directory.cpp" "src/directory/CMakeFiles/srp_dir.dir/directory.cpp.o" "gcc" "src/directory/CMakeFiles/srp_dir.dir/directory.cpp.o.d"
+  "/root/repo/src/directory/fabric.cpp" "src/directory/CMakeFiles/srp_dir.dir/fabric.cpp.o" "gcc" "src/directory/CMakeFiles/srp_dir.dir/fabric.cpp.o.d"
+  "/root/repo/src/directory/routes.cpp" "src/directory/CMakeFiles/srp_dir.dir/routes.cpp.o" "gcc" "src/directory/CMakeFiles/srp_dir.dir/routes.cpp.o.d"
+  "/root/repo/src/directory/topology.cpp" "src/directory/CMakeFiles/srp_dir.dir/topology.cpp.o" "gcc" "src/directory/CMakeFiles/srp_dir.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viper/CMakeFiles/srp_viper.dir/DependInfo.cmake"
+  "/root/repo/build/src/congestion/CMakeFiles/srp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokens/CMakeFiles/srp_tokens.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/srp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/srp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/srp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/srp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_dir.dir/client.cpp.o"
+  "CMakeFiles/srp_dir.dir/client.cpp.o.d"
+  "CMakeFiles/srp_dir.dir/directory.cpp.o"
+  "CMakeFiles/srp_dir.dir/directory.cpp.o.d"
+  "CMakeFiles/srp_dir.dir/fabric.cpp.o"
+  "CMakeFiles/srp_dir.dir/fabric.cpp.o.d"
+  "CMakeFiles/srp_dir.dir/routes.cpp.o"
+  "CMakeFiles/srp_dir.dir/routes.cpp.o.d"
+  "CMakeFiles/srp_dir.dir/topology.cpp.o"
+  "CMakeFiles/srp_dir.dir/topology.cpp.o.d"
+  "libsrp_dir.a"
+  "libsrp_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

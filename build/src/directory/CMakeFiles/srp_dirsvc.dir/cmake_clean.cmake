@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_dirsvc.dir/remote.cpp.o"
+  "CMakeFiles/srp_dirsvc.dir/remote.cpp.o.d"
+  "libsrp_dirsvc.a"
+  "libsrp_dirsvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_dirsvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

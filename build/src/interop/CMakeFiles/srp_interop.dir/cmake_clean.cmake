@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_interop.dir/ip_gateway.cpp.o"
+  "CMakeFiles/srp_interop.dir/ip_gateway.cpp.o.d"
+  "libsrp_interop.a"
+  "libsrp_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/dv.cpp" "src/ip/CMakeFiles/srp_ip.dir/dv.cpp.o" "gcc" "src/ip/CMakeFiles/srp_ip.dir/dv.cpp.o.d"
+  "/root/repo/src/ip/header.cpp" "src/ip/CMakeFiles/srp_ip.dir/header.cpp.o" "gcc" "src/ip/CMakeFiles/srp_ip.dir/header.cpp.o.d"
+  "/root/repo/src/ip/host.cpp" "src/ip/CMakeFiles/srp_ip.dir/host.cpp.o" "gcc" "src/ip/CMakeFiles/srp_ip.dir/host.cpp.o.d"
+  "/root/repo/src/ip/router.cpp" "src/ip/CMakeFiles/srp_ip.dir/router.cpp.o" "gcc" "src/ip/CMakeFiles/srp_ip.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/srp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/srp_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/srp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_ip.dir/dv.cpp.o"
+  "CMakeFiles/srp_ip.dir/dv.cpp.o.d"
+  "CMakeFiles/srp_ip.dir/header.cpp.o"
+  "CMakeFiles/srp_ip.dir/header.cpp.o.d"
+  "CMakeFiles/srp_ip.dir/host.cpp.o"
+  "CMakeFiles/srp_ip.dir/host.cpp.o.d"
+  "CMakeFiles/srp_ip.dir/router.cpp.o"
+  "CMakeFiles/srp_ip.dir/router.cpp.o.d"
+  "libsrp_ip.a"
+  "libsrp_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

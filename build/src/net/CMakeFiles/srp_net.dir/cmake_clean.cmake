@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_net.dir/ethernet.cpp.o"
+  "CMakeFiles/srp_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/srp_net.dir/lan.cpp.o"
+  "CMakeFiles/srp_net.dir/lan.cpp.o.d"
+  "CMakeFiles/srp_net.dir/port.cpp.o"
+  "CMakeFiles/srp_net.dir/port.cpp.o.d"
+  "libsrp_net.a"
+  "libsrp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

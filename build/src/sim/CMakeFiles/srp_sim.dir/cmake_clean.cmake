@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/srp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/srp_sim.dir/random.cpp.o"
+  "CMakeFiles/srp_sim.dir/random.cpp.o.d"
+  "CMakeFiles/srp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/srp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/srp_sim.dir/trace.cpp.o"
+  "CMakeFiles/srp_sim.dir/trace.cpp.o.d"
+  "libsrp_sim.a"
+  "libsrp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

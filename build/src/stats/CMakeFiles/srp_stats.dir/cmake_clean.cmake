@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_stats.dir/histogram.cpp.o"
+  "CMakeFiles/srp_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/srp_stats.dir/queueing.cpp.o"
+  "CMakeFiles/srp_stats.dir/queueing.cpp.o.d"
+  "CMakeFiles/srp_stats.dir/summary.cpp.o"
+  "CMakeFiles/srp_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/srp_stats.dir/table.cpp.o"
+  "CMakeFiles/srp_stats.dir/table.cpp.o.d"
+  "libsrp_stats.a"
+  "libsrp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

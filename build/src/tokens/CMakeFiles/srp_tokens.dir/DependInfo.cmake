@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tokens/cache.cpp" "src/tokens/CMakeFiles/srp_tokens.dir/cache.cpp.o" "gcc" "src/tokens/CMakeFiles/srp_tokens.dir/cache.cpp.o.d"
+  "/root/repo/src/tokens/token.cpp" "src/tokens/CMakeFiles/srp_tokens.dir/token.cpp.o" "gcc" "src/tokens/CMakeFiles/srp_tokens.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/srp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/srp_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

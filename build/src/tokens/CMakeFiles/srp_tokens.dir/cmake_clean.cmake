@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_tokens.dir/cache.cpp.o"
+  "CMakeFiles/srp_tokens.dir/cache.cpp.o.d"
+  "CMakeFiles/srp_tokens.dir/token.cpp.o"
+  "CMakeFiles/srp_tokens.dir/token.cpp.o.d"
+  "libsrp_tokens.a"
+  "libsrp_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_vmtp.dir/header.cpp.o"
+  "CMakeFiles/srp_vmtp.dir/header.cpp.o.d"
+  "CMakeFiles/srp_vmtp.dir/vmtp.cpp.o"
+  "CMakeFiles/srp_vmtp.dir/vmtp.cpp.o.d"
+  "libsrp_vmtp.a"
+  "libsrp_vmtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_vmtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_viper.dir/codec.cpp.o"
+  "CMakeFiles/srp_viper.dir/codec.cpp.o.d"
+  "CMakeFiles/srp_viper.dir/host.cpp.o"
+  "CMakeFiles/srp_viper.dir/host.cpp.o.d"
+  "CMakeFiles/srp_viper.dir/router.cpp.o"
+  "CMakeFiles/srp_viper.dir/router.cpp.o.d"
+  "libsrp_viper.a"
+  "libsrp_viper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_viper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srp_wire.dir/buffer.cpp.o"
+  "CMakeFiles/srp_wire.dir/buffer.cpp.o.d"
+  "CMakeFiles/srp_wire.dir/checksum.cpp.o"
+  "CMakeFiles/srp_wire.dir/checksum.cpp.o.d"
+  "CMakeFiles/srp_wire.dir/crc32.cpp.o"
+  "CMakeFiles/srp_wire.dir/crc32.cpp.o.d"
+  "libsrp_wire.a"
+  "libsrp_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srp_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

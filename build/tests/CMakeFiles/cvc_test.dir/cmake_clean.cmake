@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvc_test.dir/cvc_test.cpp.o"
+  "CMakeFiles/cvc_test.dir/cvc_test.cpp.o.d"
+  "cvc_test"
+  "cvc_test.pdb"
+  "cvc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_directory_test.dir/remote_directory_test.cpp.o"
+  "CMakeFiles/remote_directory_test.dir/remote_directory_test.cpp.o.d"
+  "remote_directory_test"
+  "remote_directory_test.pdb"
+  "remote_directory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

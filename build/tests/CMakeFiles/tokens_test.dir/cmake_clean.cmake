@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tokens_test.dir/tokens_test.cpp.o"
+  "CMakeFiles/tokens_test.dir/tokens_test.cpp.o.d"
+  "tokens_test"
+  "tokens_test.pdb"
+  "tokens_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tokens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_codec_test.dir/viper_codec_test.cpp.o"
+  "CMakeFiles/viper_codec_test.dir/viper_codec_test.cpp.o.d"
+  "viper_codec_test"
+  "viper_codec_test.pdb"
+  "viper_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viper_routing_test.dir/viper_routing_test.cpp.o"
+  "CMakeFiles/viper_routing_test.dir/viper_routing_test.cpp.o.d"
+  "viper_routing_test"
+  "viper_routing_test.pdb"
+  "viper_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viper_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

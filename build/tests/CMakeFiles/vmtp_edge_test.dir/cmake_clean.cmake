@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtp_edge_test.dir/vmtp_edge_test.cpp.o"
+  "CMakeFiles/vmtp_edge_test.dir/vmtp_edge_test.cpp.o.d"
+  "vmtp_edge_test"
+  "vmtp_edge_test.pdb"
+  "vmtp_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtp_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

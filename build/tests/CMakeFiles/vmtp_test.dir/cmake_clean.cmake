@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmtp_test.dir/vmtp_test.cpp.o"
+  "CMakeFiles/vmtp_test.dir/vmtp_test.cpp.o.d"
+  "vmtp_test"
+  "vmtp_test.pdb"
+  "vmtp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
