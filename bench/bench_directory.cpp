@@ -64,20 +64,22 @@ CacheResult run_cached(bool use_cache, int transactions) {
   auto issue = std::make_shared<std::function<void(int)>>();
   dir::QueryOptions q;
   q.dest_endpoint = 0x5;
-  *issue = [&, issue, use_cache, q](int remaining) {
+  // Weak self-capture: only pending callbacks hold strong references, so
+  // the chain frees itself once the last transaction completes.
+  *issue = [&, weak = std::weak_ptr(issue), use_cache, q](int remaining) {
     if (remaining == 0) return;
     const sim::Time started = sim.now();
-    auto run_txn = [&, issue, remaining,
+    auto run_txn = [&, self = weak.lock(), remaining,
                     started](const dir::IssuedRoute& route) {
       client->invoke(route, 0x5, wire::Bytes(64, 0x11),
-                     [&, issue, remaining, started](vmtp::Result r) {
+                     [&, self, remaining, started](vmtp::Result r) {
                        if (r.ok) {
                          txn_times.add(
                              sim::to_micros(sim.now() - started));
                        }
-                       sim.after(100 * sim::kMicrosecond, [issue,
+                       sim.after(100 * sim::kMicrosecond, [self,
                                                            remaining] {
-                         (*issue)(remaining - 1);
+                         (*self)(remaining - 1);
                        });
                      });
     };

@@ -82,7 +82,9 @@ GapResult run_sirpent(sim::Time min_rto, int max_retries) {
   dir::QueryOptions q;
   q.dest_endpoint = 0x5E;
   auto step = std::make_shared<std::function<void()>>();
-  *step = [&, step] {
+  // Weak self-capture: the pending event holds the only strong reference,
+  // so the chain is reclaimed when it stops (no shared_ptr cycle).
+  *step = [&, weak = std::weak_ptr(step)] {
     if (sim.now() >= kEnd) return;
     const dir::IssuedRoute* route = cache.route_to("server.bench", q);
     if (route != nullptr) {
@@ -97,7 +99,7 @@ GapResult run_sirpent(sim::Time min_rto, int max_retries) {
         }
       });
     }
-    sim.after(kRequestGap, [step] { (*step)(); });
+    sim.after(kRequestGap, [self = weak.lock()] { (*self)(); });
   };
   sim.at(1, [step] { (*step)(); });
 
@@ -151,10 +153,11 @@ GapResult run_ip(sim::Time dv_period) {
   });
 
   auto step = std::make_shared<std::function<void()>>();
-  *step = [&, step, end] {
+  // Same weak self-capture pattern as run_sirpent above.
+  *step = [&, weak = std::weak_ptr(step), end] {
     if (sim.now() >= end) return;
     client.send(kServer, ip::kProtoVmtp, wire::Bytes(64, 0x11));
-    sim.after(kRequestGap, [step] { (*step)(); });
+    sim.after(kRequestGap, [self = weak.lock()] { (*self)(); });
   };
   sim.at(warmup, [step] { (*step)(); });
 

@@ -1,11 +1,11 @@
 #include "directory/directory.hpp"
 
-#include <cassert>
+#include "check/contract.hpp"
 
 namespace srp::dir {
 
 std::uint32_t Directory::add_region(std::string name, std::uint32_t parent) {
-  assert(parent < regions_.size());
+  SIRPENT_EXPECTS(parent < regions_.size());
   const auto id = static_cast<std::uint32_t>(regions_.size());
   regions_.push_back(Region{id, std::move(name), parent, {}});
   regions_[parent].children.push_back(id);
@@ -14,7 +14,7 @@ std::uint32_t Directory::add_region(std::string name, std::uint32_t parent) {
 
 void Directory::register_name(std::string fqdn, std::uint32_t node_id,
                               std::uint32_t region) {
-  assert(region < regions_.size());
+  SIRPENT_EXPECTS(region < regions_.size());
   names_[std::move(fqdn)] = {node_id, region};
 }
 
@@ -39,7 +39,7 @@ void Directory::attach_tokens(IssuedRoute& route,
   if (authority_ == nullptr) return;
   // One token per router hop; the final segment is local delivery and
   // needs none.
-  assert(route.router_ids.size() + 1 == route.route.segments.size());
+  SIRPENT_ENSURES(route.router_ids.size() + 1 == route.route.segments.size());
   for (std::size_t i = 0; i < route.router_ids.size(); ++i) {
     core::HeaderSegment& seg = route.route.segments[i];
     tokens::TokenBody body;

@@ -159,7 +159,10 @@ void Fabric::enable_load_reporting(sim::Time interval) {
     }
   }
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, samples, interval, tick] {
+  // Weak self-capture: the only strong reference lives in the pending
+  // event, so the ticker is reclaimed with the event queue instead of
+  // leaking through a shared_ptr cycle.
+  *tick = [this, samples, interval, weak = std::weak_ptr(tick)] {
     for (Sample& s : *samples) {
       const sim::Time busy = s.router->port(s.port).stats().busy_time;
       const double load = static_cast<double>(busy - s.last_busy) /
@@ -167,7 +170,7 @@ void Fabric::enable_load_reporting(sim::Time interval) {
       s.last_busy = busy;
       directory_->report_link_load(s.from, s.to, std::min(load, 1.0));
     }
-    sim_.after(interval, [tick] { (*tick)(); });
+    sim_.after(interval, [self = weak.lock()] { (*self)(); });
   };
   sim_.after(interval, [tick] { (*tick)(); });
 }

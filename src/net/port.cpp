@@ -1,7 +1,8 @@
 #include "net/port.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "check/contract.hpp"
 
 namespace srp::net {
 
@@ -88,6 +89,7 @@ void TxPort::try_start(sim::Time not_before) {
 
   Queued item = std::move(queue_.front());
   queue_.pop_front();
+  SIRPENT_INVARIANT(queue_bytes_ >= item.packet->size());
   queue_bytes_ -= item.packet->size();
   // Start first, notify after: observers of the queue change must see the
   // port already busy (time-weighted "in system" statistics depend on it).
@@ -96,7 +98,8 @@ void TxPort::try_start(sim::Time not_before) {
 }
 
 void TxPort::start_transmission(Queued item, sim::Time start) {
-  assert(!transmitting_);
+  SIRPENT_EXPECTS(!transmitting_);
+  SIRPENT_EXPECTS(start >= item.earliest_start);
   transmitting_ = true;
   current_ = std::move(item);
   current_start_ = start;
@@ -115,7 +118,7 @@ void TxPort::start_transmission(Queued item, sim::Time start) {
 }
 
 void TxPort::complete_transmission() {
-  assert(transmitting_);
+  SIRPENT_EXPECTS(transmitting_);
   ++stats_.sent;
   stats_.bytes_sent += current_.packet->size();
   stats_.busy_time += current_end_ - current_start_;
@@ -127,7 +130,7 @@ void TxPort::complete_transmission() {
 }
 
 void TxPort::abort_transmission() {
-  assert(transmitting_);
+  SIRPENT_EXPECTS(transmitting_);
   ++stats_.preempt_aborts;
   stats_.busy_time += sim_.now() - current_start_;
   sim_.cancel(completion_event_);

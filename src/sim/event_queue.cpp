@@ -1,6 +1,6 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
+#include "check/contract.hpp"
 
 namespace srp::sim {
 
@@ -26,7 +26,7 @@ Time EventQueue::next_time() const {
 
 std::pair<Time, EventQueue::Callback> EventQueue::pop() {
   drop_cancelled();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
+  SIRPENT_EXPECTS(!heap_.empty());  // pop() on empty EventQueue
   // std::priority_queue::top() returns a const ref; the Entry is moved out
   // via const_cast because the immediately following pop() discards it.
   auto& top = const_cast<Entry&>(heap_.top());

@@ -1,8 +1,9 @@
 #include "sim/random.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
+
+#include "check/contract.hpp"
 
 namespace srp::sim {
 namespace {
@@ -44,7 +45,7 @@ double Rng::next_double() {
 }
 
 std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
-  assert(lo <= hi);
+  SIRPENT_EXPECTS(lo <= hi);
   const std::uint64_t span = hi - lo + 1;
   if (span == 0) return next_u64();  // full 64-bit range
   // Rejection sampling to avoid modulo bias.
@@ -72,7 +73,7 @@ Time Rng::exp_interval(Time mean) {
 }
 
 std::uint64_t Rng::geometric(double p) {
-  assert(p > 0.0 && p <= 1.0);
+  SIRPENT_EXPECTS(p > 0.0 && p <= 1.0);
   if (p >= 1.0) return 1;
   const double u = 1.0 - next_double();  // (0,1]
   const double n = std::ceil(std::log(u) / std::log(1.0 - p));

@@ -1,7 +1,8 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "check/contract.hpp"
 
 namespace srp::sim {
 
@@ -15,7 +16,7 @@ EventId Simulator::at(Time when, EventQueue::Callback cb) {
 bool Simulator::step() {
   if (events_.empty()) return false;
   auto [when, cb] = events_.pop();
-  assert(when >= now_ && "event queue returned a past event");
+  SIRPENT_INVARIANT(when >= now_);  // event queue returned a past event
   now_ = when;
   cb();
   return true;

@@ -1,5 +1,7 @@
 #include "tokens/cache.hpp"
 
+#include "check/contract.hpp"
+
 namespace srp::tokens {
 
 TokenCache::Entry* TokenCache::find(std::span<const std::uint8_t> token) {
@@ -10,6 +12,9 @@ TokenCache::Entry* TokenCache::find(std::span<const std::uint8_t> token) {
   }
   ++stats_.hits;
   ++it->second.hits;
+  // A cached entry is always a completed verification: exactly one of
+  // valid / flagged ("subsequent packets using this token are blocked").
+  SIRPENT_ENSURES(it->second.valid != it->second.flagged);
   return &it->second;
 }
 
@@ -24,6 +29,7 @@ TokenCache::Entry& TokenCache::store(std::span<const std::uint8_t> token,
     e.valid = false;
     e.flagged = true;
   }
+  SIRPENT_ENSURES(e.valid != e.flagged);
   return e;
 }
 
@@ -32,6 +38,7 @@ bool TokenCache::charge(Entry& entry, std::uint64_t bytes, Ledger& ledger) {
     ++stats_.flagged_rejects;
     return false;
   }
+  SIRPENT_EXPECTS(entry.valid);
   if (entry.body.byte_limit != 0 &&
       entry.bytes_charged + bytes > entry.body.byte_limit) {
     ++stats_.limit_rejects;
@@ -39,6 +46,9 @@ bool TokenCache::charge(Entry& entry, std::uint64_t bytes, Ledger& ledger) {
   }
   entry.bytes_charged += bytes;
   ledger.charge(entry.body.account, bytes);
+  // Charged usage never exceeds the minted limit (token-cache consistency).
+  SIRPENT_ENSURES(entry.body.byte_limit == 0 ||
+                  entry.bytes_charged <= entry.body.byte_limit);
   return true;
 }
 

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <stdexcept>
+
+#include "check/contract.hpp"
 
 namespace srp::vmtp {
 namespace {
@@ -68,7 +69,7 @@ void VmtpEndpoint::invoke(const dir::IssuedRoute& route,
   state.callback = std::move(callback);
   state.started = sim_.now();
   auto [it, inserted] = outstanding_.emplace(txn, std::move(state));
-  assert(inserted);
+  SIRPENT_INVARIANT(inserted);
   ++stats_.requests_sent;
 
   Header base;
@@ -134,7 +135,7 @@ void VmtpEndpoint::send_one(const Header& header, const wire::Bytes& payload,
     }
     return;
   }
-  assert(reply_via != nullptr);
+  SIRPENT_INVARIANT(reply_via != nullptr);
   viper::Delivery via = *reply_via;
   // Address the reply to the peer's transport entity: Sirpent's local
   // port-0 segment doubles as intra-host addressing (§2.2), so the entity

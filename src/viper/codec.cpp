@@ -1,5 +1,7 @@
 #include "viper/codec.hpp"
 
+#include "check/contract.hpp"
+
 namespace srp::viper {
 namespace {
 
@@ -63,6 +65,7 @@ void encode_segment(wire::Writer& w, const core::HeaderSegment& segment) {
       segment.port_info.size() > 0xFFFFFFFFull) {
     throw wire::CodecError("VIPER: field too large");
   }
+  [[maybe_unused]] const std::size_t before = w.size();
   encode_length_byte(w, segment.port_info.size());
   encode_length_byte(w, segment.token.size());
   w.u8(segment.port);
@@ -70,9 +73,13 @@ void encode_segment(wire::Writer& w, const core::HeaderSegment& segment) {
                                  (segment.tos.priority & 0x0F)));
   encode_field(w, segment.token);
   encode_field(w, segment.port_info);
+  // Cut-through hardware sizes the segment from the fixed prefix alone; the
+  // encoder must agree with that arithmetic exactly.
+  SIRPENT_ENSURES(w.size() - before == segment_wire_size(segment));
 }
 
 core::HeaderSegment decode_segment(wire::Reader& r) {
+  [[maybe_unused]] const std::size_t start = r.position();
   const std::uint8_t info_len = r.u8();
   const std::uint8_t token_len = r.u8();
   core::HeaderSegment seg;
@@ -83,6 +90,10 @@ core::HeaderSegment decode_segment(wire::Reader& r) {
   seg.tos.drop_if_blocked = seg.flags.dib;
   seg.token = decode_field(r, token_len);
   seg.port_info = decode_field(r, info_len);
+  // Decode must consume exactly what the encoder would produce — the
+  // router's cut-through offset arithmetic depends on it.  (VNT clearing of
+  // port_info below happens after the bytes were consumed.)
+  SIRPENT_ENSURES(r.position() - start == segment_wire_size(seg));
   if (seg.flags.vnt && !seg.flags.trm) {
     // "the portInfo field is void ... may still be non-zero if the PortInfo
     // field is used for padding" — padding is discarded on decode.
@@ -118,8 +129,10 @@ wire::Bytes encode_packet(const core::SourceRoute& route,
     }
     encode_segment(w, seg);
   }
+  [[maybe_unused]] const std::size_t header_len = w.size();
   w.u16(static_cast<std::uint16_t>(data.size()));
   w.bytes(data);
+  SIRPENT_ENSURES(w.size() == header_len + 2 + data.size());
   return std::move(w).take();
 }
 
@@ -129,6 +142,8 @@ DeliveredBody decode_delivered_body(wire::Reader& r) {
   if (r.remaining() >= data_len) {
     body.data = r.bytes(data_len);
     body.trailer = decode_segments(r);
+    SIRPENT_ENSURES(body.data.size() == data_len);
+    SIRPENT_ENSURES(r.done());
     return body;
   }
   // Truncated in flight: the data was cut short.  A truncating router

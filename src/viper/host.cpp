@@ -1,5 +1,7 @@
 #include "viper/host.hpp"
 
+#include "check/contract.hpp"
+
 namespace srp::viper {
 
 ViperHost::ViperHost(sim::Simulator& sim, std::string name,
@@ -116,6 +118,11 @@ void ViperHost::process(const net::Arrival& arrival) {
   Delivery delivery;
   delivery.data = std::move(body.data);
   delivery.return_route = core::build_return_route(trailer.entries);
+  // A reply along this route must terminate at the origin host's local
+  // port, marked RPF so routers honour reverse-charged tokens.
+  SIRPENT_ENSURES(!delivery.return_route.empty() &&
+                  delivery.return_route.segments.back().port ==
+                      core::kLocalPort);
   if (link.has_value()) delivery.reply_link = link->reversed();
   delivery.truncated = trailer.truncated || packet.effectively_truncated();
   delivery.endpoint = endpoint.value_or(0);

@@ -1,8 +1,9 @@
 #include "viper/router.hpp"
 
-#include <cassert>
 #include <limits>
 #include <utility>
+
+#include "check/contract.hpp"
 
 namespace srp::viper {
 namespace {
@@ -144,6 +145,9 @@ void ViperRouter::handle_packet(
     ++stats_.dropped_malformed;
     return;
   }
+  // Everything downstream slices `bytes` at `consumed`; the reader position
+  // is by construction inside the packet.
+  SIRPENT_INVARIANT(front.consumed <= bytes.size());
   if (!front.segment.is_legal()) {
     ++stats_.dropped_malformed;
     return;
@@ -315,7 +319,7 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
       ++stats_.dropped_expired_token;
       return std::nullopt;
     }
-    assert(ledger_ != nullptr);
+    SIRPENT_INVARIANT(ledger_ != nullptr);
     if (!token_cache_.charge(*entry, packet_bytes, *ledger_)) {
       ++stats_.dropped_token_limit;
       return std::nullopt;
@@ -363,12 +367,20 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
 sim::Time ViperRouter::earliest_forward_time(const net::Arrival& arrival,
                                              std::size_t consumed,
                                              int out_port) const {
+  // Cut-through preconditions (§2.1): output may start only after the
+  // decision point — link header + first segment — has fully arrived, and
+  // never before the packet's head reached us.
+  SIRPENT_EXPECTS(consumed > 0);
+  SIRPENT_EXPECTS(arrival.head <= arrival.tail);
   const net::TxPort& out = port(out_port);
   const bool same_rate = arrival.rate_bps == out.config().rate_bps;
   if (config_.cut_through && same_rate) {
     // Decision is possible once the link header + first segment are in.
-    return arrival.head + sim::byte_time(consumed, arrival.rate_bps) +
-           config_.decision_delay;
+    const sim::Time start = arrival.head +
+                            sim::byte_time(consumed, arrival.rate_bps) +
+                            config_.decision_delay;
+    SIRPENT_ENSURES(start >= arrival.head);
+    return start;
   }
   // "Cut-through routing is only applicable when the input link and the
   // output link are the same data rates" — otherwise store-and-forward.
@@ -424,10 +436,14 @@ void ViperRouter::forward(const net::Arrival& arrival,
     wire::Writer mw(4);
     encode_segment(mw, mark);
     const wire::Bytes mark_bytes = std::move(mw).take();
+    SIRPENT_INVARIANT(out.config().mtu_bytes >= mark_bytes.size());
     out_bytes.resize(out.config().mtu_bytes - mark_bytes.size());
     out_bytes.insert(out_bytes.end(), mark_bytes.begin(), mark_bytes.end());
     truncated = true;
     ++stats_.truncated_forwards;
+    // A truncated forward is cut exactly to the output MTU with the mark as
+    // its final segment — "not a legal Sirpent header segment".
+    SIRPENT_ENSURES(out_bytes.size() == out.config().mtu_bytes);
   }
 
   const std::uint8_t next_port = peek_next_port(bytes, front.consumed);

@@ -1,5 +1,7 @@
 #include "wire/buffer.hpp"
 
+#include "check/contract.hpp"
+
 namespace srp::wire {
 
 void Writer::u16(std::uint16_t v) {
@@ -34,6 +36,10 @@ void Writer::patch_u16(std::size_t offset, std::uint16_t v) {
 }
 
 void Reader::require(std::size_t count) const {
+  // The cursor can never have run past the end: every advance goes through
+  // require() first.  Bounds on *input* are CodecError (a recoverable wire
+  // condition); this is the decoder's own consistency.
+  SIRPENT_INVARIANT(pos_ <= data_.size());
   if (remaining() < count) {
     throw CodecError("Reader: truncated input (need " +
                      std::to_string(count) + " bytes, have " +
@@ -75,6 +81,7 @@ Bytes Reader::bytes(std::size_t count) {
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
   pos_ += count;
+  SIRPENT_ENSURES(out.size() == count);
   return out;
 }
 

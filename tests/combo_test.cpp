@@ -122,18 +122,20 @@ TEST(ComboStack, TokensCongestionAndDelayLinesCoexist) {
   // Offer 2x the bottleneck for 60 ms, throttle-aware.
   const cc::FlowKey key{fabric.id_of(r1), 2};
   auto pump = std::make_shared<std::function<void(int)>>();
-  *pump = [&, pump, key](int remaining) {
+  // Weak self-capture; the pending event carries the strong reference, so
+  // the pump chain frees itself when it runs out (no shared_ptr cycle).
+  *pump = [&, weak = std::weak_ptr(pump), key](int remaining) {
     if (remaining == 0) return;
     cc::SourceThrottle* throttle = fabric.throttle_of(src);
     const sim::Time when =
         throttle ? std::max(throttle->acquire(key, 1000), sim.now())
                  : sim.now();
-    sim.at(when, [&, pump, remaining] {
+    sim.at(when, [&, self = weak.lock(), remaining] {
       viper::SendOptions options;
       options.out_port = routes[0].host_out_port;
       src.send(routes[0].route, wire::Bytes(1000, 0x5C), options);
       sim.after(40 * sim::kMicrosecond,
-                [pump, remaining] { (*pump)(remaining - 1); });
+                [self, remaining] { (*self)(remaining - 1); });
     });
   };
   sim.at(1, [pump] { (*pump)(1500); });

@@ -81,7 +81,9 @@ struct BottleneckTest : ::testing::Test {
   void pump(sim::Time interval, sim::Time until) {
     const FlowKey key{fabric.id_of(*r1), 2};
     auto step = std::make_shared<std::function<void()>>();
-    *step = [this, interval, until, key, step] {
+    // The chain owns itself through the pending event only (weak self
+    // capture): no shared_ptr cycle, so the pump frees when it stops.
+    *step = [this, interval, until, key, weak = std::weak_ptr(step)] {
       if (sim.now() >= until) return;
       SourceThrottle* throttle = fabric.throttle_of(*src);
       sim::Time when = sim.now();
@@ -92,7 +94,8 @@ struct BottleneckTest : ::testing::Test {
         src->send(route, pattern_bytes(kPacket));
       });
       const sim::Time next = std::max(when, sim.now()) + interval;
-      sim.at(std::max(next, sim.now() + 1), [step] { (*step)(); });
+      sim.at(std::max(next, sim.now() + 1),
+             [self = weak.lock()] { (*self)(); });
     };
     sim.at(1, [step] { (*step)(); });
   }

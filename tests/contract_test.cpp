@@ -1,0 +1,84 @@
+// Verifies the contract machinery itself: macros fire through the
+// installed handler when checking is enabled, and compile to nothing —
+// without evaluating their condition — when disabled (see
+// contract_test_release_tu.cpp for the disabled half, built into this same
+// binary with the gate forced off).
+//
+// This TU forces the gate ON regardless of build type so the firing path
+// is exercised by every ctest run, including Release.
+#undef SIRPENT_CONTRACTS_ENABLED
+#define SIRPENT_CONTRACTS_ENABLED 1
+
+#include "check/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace srp::check {
+
+// The disabled half lives in contract_test_release_tu.cpp (same binary,
+// gate forced OFF): reports whether a false contract fired and whether the
+// condition was even evaluated.
+bool release_mode_contract_fired();
+bool release_mode_condition_evaluated();
+
+namespace {
+
+/// Thrown by the test handler instead of aborting the process.
+struct ContractFired : std::runtime_error {
+  explicit ContractFired(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void throwing_handler(const Violation& v) {
+  throw ContractFired(std::string(v.kind) + "(" + v.condition + ") at " +
+                      v.file + ":" + std::to_string(v.line));
+}
+
+class ContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = set_violation_handler(throwing_handler); }
+  void TearDown() override { set_violation_handler(previous_); }
+  ViolationHandler previous_ = nullptr;
+};
+
+TEST_F(ContractTest, ExpectsFiresOnFalse) {
+  EXPECT_THROW(SIRPENT_EXPECTS(1 + 1 == 3), ContractFired);
+}
+
+TEST_F(ContractTest, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(SIRPENT_EXPECTS(1 + 1 == 2));
+}
+
+TEST_F(ContractTest, EnsuresAndInvariantFire) {
+  EXPECT_THROW(SIRPENT_ENSURES(false), ContractFired);
+  EXPECT_THROW(SIRPENT_INVARIANT(false), ContractFired);
+}
+
+TEST_F(ContractTest, ViolationCarriesLocation) {
+  try {
+    SIRPENT_EXPECTS(2 > 3);
+    FAIL() << "contract did not fire";
+  } catch (const ContractFired& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("EXPECTS"), std::string::npos);
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("contract_test.cpp"), std::string::npos);
+  }
+}
+
+TEST_F(ContractTest, HandlerRestoreWorks) {
+  // set_violation_handler returns the previous handler so fixtures nest.
+  ViolationHandler prev = set_violation_handler(nullptr);
+  EXPECT_EQ(prev, throwing_handler);
+  set_violation_handler(throwing_handler);
+}
+
+TEST(ContractReleaseMode, CompiledOutAndNotEvaluated) {
+  EXPECT_FALSE(release_mode_contract_fired());
+  EXPECT_FALSE(release_mode_condition_evaluated());
+}
+
+}  // namespace
+}  // namespace srp::check

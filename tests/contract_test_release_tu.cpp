@@ -1,0 +1,43 @@
+// The release-mode half of contract_test: this TU forces the contract gate
+// OFF, so SIRPENT_EXPECTS must (a) never reach the violation handler and
+// (b) never evaluate its condition — "zero-cost in release" means both.
+#undef SIRPENT_CONTRACTS_ENABLED
+#define SIRPENT_CONTRACTS_ENABLED 0
+
+#include "check/contract.hpp"
+
+namespace srp::check {
+namespace {
+
+bool g_evaluated = false;
+
+// With the gate off the macros never reference this function — that is
+// exactly the property under test.
+[[maybe_unused]] bool evaluate_and_fail() {
+  g_evaluated = true;
+  return false;
+}
+
+struct Escape {};
+
+[[noreturn]] void escaping_handler(const Violation&) { throw Escape{}; }
+
+}  // namespace
+
+bool release_mode_contract_fired() {
+  bool fired = false;
+  ViolationHandler previous = set_violation_handler(escaping_handler);
+  try {
+    SIRPENT_EXPECTS(evaluate_and_fail());
+    SIRPENT_ENSURES(evaluate_and_fail());
+    SIRPENT_INVARIANT(evaluate_and_fail());
+  } catch (...) {
+    fired = true;
+  }
+  set_violation_handler(previous);
+  return fired;
+}
+
+bool release_mode_condition_evaluated() { return g_evaluated; }
+
+}  // namespace srp::check

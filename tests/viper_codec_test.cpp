@@ -223,6 +223,103 @@ TEST(ViperCodecProperty, FuzzDecodeNeverCrashes) {
   }
 }
 
+// --- Error paths: malformed input must produce a clean CodecError, never
+// --- an uncaught exception, crash, or out-of-bounds read. ---------------
+
+TEST(ViperCodecErrors, TruncatedHeaderSegmentAtEveryPrefix) {
+  core::HeaderSegment seg = sample_segment();
+  wire::Writer w;
+  encode_segment(w, seg);
+  const wire::Bytes full = w.view();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    wire::Bytes prefix(full.begin(),
+                       full.begin() + static_cast<std::ptrdiff_t>(cut));
+    wire::Reader r(prefix);
+    EXPECT_THROW((void)decode_segment(r), wire::CodecError) << "cut=" << cut;
+  }
+}
+
+TEST(ViperCodecErrors, ZeroSegmentPacketRejectedOnEncode) {
+  core::SourceRoute empty;
+  const wire::Bytes payload{1, 2, 3};
+  EXPECT_THROW((void)encode_packet(empty, payload), wire::CodecError);
+}
+
+TEST(ViperCodecErrors, ZeroSegmentBytesRejectedOnDecode) {
+  // A "packet" that begins straight at DataLen, with no route in front:
+  // the receive path always decodes a segment first and must fail cleanly
+  // (here the DataLen+data bytes do not form a complete segment).
+  wire::Writer w;
+  w.u16(3);
+  w.bytes(wire::Bytes{10, 20, 30});
+  wire::Reader r(w.view());
+  EXPECT_THROW((void)decode_segment(r), wire::CodecError);
+}
+
+TEST(ViperCodecErrors, OversizedPortInfoLengthRejected) {
+  // Escaped PortInfoLength claiming 4 GiB with only a handful of bytes
+  // behind it: the bounds check must fire before any allocation or read.
+  wire::Writer w;
+  w.u8(255);  // PortInfoLength: escape
+  w.u8(0);    // PortTokenLength: none
+  w.u8(7);    // port
+  w.u8(0);    // flags/priority
+  w.u32(0xFFFFFFFFu);  // escaped 32-bit length
+  w.bytes(wire::Bytes(8, 0xEE));
+  wire::Reader r(w.view());
+  EXPECT_THROW((void)decode_segment(r), wire::CodecError);
+}
+
+TEST(ViperCodecErrors, EscapedLengthMustExceed254) {
+  // An escape that encodes a small length is not canonical: reject it
+  // rather than accept two encodings of the same segment.
+  wire::Writer w;
+  w.u8(0);    // PortInfoLength
+  w.u8(255);  // PortTokenLength: escape
+  w.u8(7);
+  w.u8(0);
+  w.u32(10);  // illegal: escaped value <= 254
+  w.bytes(wire::Bytes(10, 0xAA));
+  wire::Reader r(w.view());
+  EXPECT_THROW((void)decode_segment(r), wire::CodecError);
+}
+
+TEST(ViperCodecErrors, TrailerLongerThanPacketRejected) {
+  // Delivered body whose trailer segment claims more bytes than remain.
+  wire::Writer w;
+  w.u16(4);
+  w.bytes(wire::Bytes{1, 2, 3, 4});
+  w.u8(0);    // trailer segment: PortInfoLength 0
+  w.u8(200);  // PortTokenLength 200 — but the packet ends here
+  w.u8(3);
+  w.u8(0);
+  wire::Reader r(w.view());
+  EXPECT_THROW((void)decode_delivered_body(r), wire::CodecError);
+}
+
+TEST(ViperCodecErrors, DataLengthBeyondPacketYieldsTruncatedDelivery) {
+  // DataLen larger than what arrived is the in-flight truncation case:
+  // not an error — the body must surface what arrived, without the
+  // nonexistent trailer.
+  wire::Writer w;
+  w.u16(0xFFFF);
+  w.bytes(wire::Bytes(5, 0x42));
+  wire::Reader r(w.view());
+  const DeliveredBody body = decode_delivered_body(r);
+  EXPECT_EQ(body.data.size(), 5u);
+  EXPECT_TRUE(body.trailer.empty());
+}
+
+TEST(ViperCodecErrors, OversizedDataRejectedOnEncode) {
+  core::SourceRoute route;
+  core::HeaderSegment local;
+  local.port = core::kLocalPort;
+  local.flags.vnt = true;
+  route.segments.push_back(local);
+  const wire::Bytes big(0x10000, 0x00);  // one past the 16-bit length
+  EXPECT_THROW((void)encode_packet(route, big), wire::CodecError);
+}
+
 // The paper's scaling headroom: 48 segments stay within ~500 bytes when
 // hops are token-less point-to-point/LAN mixes.
 TEST(ViperCodec, FortyEightHopRouteSize) {
