@@ -132,7 +132,7 @@ void BM_TokenCachedCheck(benchmark::State& state) {
   tokens::TokenCache cache;
   cache.store(token, body);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.find(token));
+    benchmark::DoNotOptimize(cache.lookup(token));
   }
 }
 BENCHMARK(BM_TokenCachedCheck);

@@ -86,8 +86,9 @@ GapResult run_sirpent(sim::Time min_rto, int max_retries) {
   // so the chain is reclaimed when it stops (no shared_ptr cycle).
   *step = [&, weak = std::weak_ptr(step)] {
     if (sim.now() >= kEnd) return;
-    const dir::IssuedRoute* route = cache.route_to("server.bench", q);
-    if (route != nullptr) {
+    const std::optional<dir::IssuedRoute> route =
+        cache.route_to("server.bench", q);
+    if (route.has_value()) {
       client->invoke(*route, 0x5E, wire::Bytes(64, 0x11), [&](vmtp::Result r) {
         if (r.ok) {
           ++result.successes;

@@ -172,7 +172,7 @@ int main() {
     std::uint64_t hits = 0;
     const auto t3 = std::chrono::steady_clock::now();
     for (const auto& token : minted) {
-      hits += cache.find(token) != nullptr ? 1 : 0;
+      hits += cache.lookup(token).has_value() ? 1 : 0;
     }
     const auto t4 = std::chrono::steady_clock::now();
     auto ns_per = [n](auto a, auto b) {

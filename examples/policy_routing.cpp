@@ -107,12 +107,14 @@ int main() {
   // --- 5. RouteCache shows cached alternates surviving a failure ---
   fabric.restore_link(r_hq, r_private);
   dir::RouteCache& cache = fabric.route_cache(hq);
-  const dir::IssuedRoute* active = cache.route_to("branch.corp.example");
+  const std::optional<dir::IssuedRoute> active =
+      cache.route_to("branch.corp.example");
   std::printf("\nroute cache active route: %zu hops, base rtt %.1f us\n",
               active->hops,
               sim::to_micros(cache.base_rtt("branch.corp.example")));
   cache.report_failure("branch.corp.example");
-  const dir::IssuedRoute* alt = cache.route_to("branch.corp.example");
+  const std::optional<dir::IssuedRoute> alt =
+      cache.route_to("branch.corp.example");
   std::printf("after a reported failure the cache switched to the "
               "alternate: %zu hops, one-way %.1f us (switches: %llu)\n",
               alt->hops, sim::to_micros(alt->propagation_delay),

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Static-analysis gate: clang-tidy over src/ plus a clang-format check.
+# Static-analysis gate: clang-tidy over src/, a clang -Wthread-safety
+# compile pass over the annotated tree, plus a clang-format check.
 #
 # Usage:
 #   scripts/lint.sh [build-dir]
@@ -59,6 +60,22 @@ if tidy="$(find_tool clang-tidy)"; then
   fi
 else
   missing_tool clang-tidy
+fi
+
+# --- clang -Wthread-safety ------------------------------------------------
+# The capability annotations (src/check/thread_annotations.hpp) are only
+# checked by clang; GCC compiles them away.  A syntax-only pass over every
+# src TU is enough: -Wthread-safety runs on the AST, no codegen needed.
+if clangxx="$(find_tool clang++)"; then
+  echo "lint.sh: running ${clangxx} -Wthread-safety over src/"
+  mapfile -t sources < <(git ls-files 'src/**/*.cpp')
+  if ! "${clangxx}" -std=c++20 -fsyntax-only -I "${repo_root}/src" \
+       -Wthread-safety -Werror=thread-safety "${sources[@]}"; then
+    echo "lint.sh: clang thread-safety analysis reported findings" >&2
+    status=1
+  fi
+else
+  missing_tool clang++
 fi
 
 # --- clang-format (check only, no reformat) -------------------------------

@@ -1,5 +1,6 @@
 #include "check/contract.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -12,18 +13,20 @@ namespace {
   std::abort();
 }
 
-ViolationHandler g_handler = nullptr;
+// Atomic so contracts may fire from worker-pool threads while a test
+// fixture swaps handlers on the main thread; a plain pointer here was a
+// data race the moment src/exec landed.
+std::atomic<ViolationHandler> g_handler{nullptr};
 
 }  // namespace
 
 ViolationHandler set_violation_handler(ViolationHandler handler) {
-  ViolationHandler previous = g_handler;
-  g_handler = handler;
-  return previous;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
 }
 
 void violation(const Violation& v) {
-  if (g_handler != nullptr) g_handler(v);
+  ViolationHandler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) handler(v);
   default_handler(v);
 }
 

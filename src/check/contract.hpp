@@ -44,8 +44,9 @@ struct Violation {
 using ViolationHandler = void (*)(const Violation&);
 
 /// Installs @p handler, returning the previous one.  Passing nullptr
-/// restores the default abort handler.  Not thread-safe; intended for
-/// process start-up and single-threaded test fixtures.
+/// restores the default abort handler.  Thread-safe (the handler slot is
+/// a std::atomic): contracts may fire from worker-pool threads while a
+/// fixture installs or restores handlers on the main thread.
 ViolationHandler set_violation_handler(ViolationHandler handler);
 
 /// Reports a violation to the current handler and terminates the process

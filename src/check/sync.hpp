@@ -1,0 +1,80 @@
+// Capability-annotated synchronization primitives.
+//
+// Thin wrappers over the std primitives whose only job is to carry the
+// Clang thread-safety attributes from thread_annotations.hpp: code that
+// locks an srp::Mutex and touches an SRP_GUARDED_BY field is checked at
+// compile time under -Wthread-safety.  The wrappers add no state and no
+// overhead beyond std::mutex / std::condition_variable_any.
+//
+// Discipline (DESIGN.md "Concurrency model"):
+//   * every shared field is SRP_GUARDED_BY a named srp::Mutex;
+//   * public methods of a thread-safe component are SRP_EXCLUDES(mutex_)
+//     and take an srp::MutexLock internally;
+//   * private helpers that expect the lock held are SRP_REQUIRES(mutex_).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "check/thread_annotations.hpp"
+
+namespace srp {
+
+/// Annotated exclusive mutex.  Prefer MutexLock over manual lock/unlock.
+class SRP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SRP_ACQUIRE() { m_.lock(); }
+  void unlock() SRP_RELEASE() { m_.unlock(); }
+  bool try_lock() SRP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII lock over an srp::Mutex (scoped capability).
+class SRP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SRP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() SRP_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable usable with srp::Mutex.  wait() atomically releases
+/// and reacquires the mutex; annotated SRP_REQUIRES so callers provably
+/// hold it across the wait (the analysis treats the lock as continuously
+/// held, which matches the caller-visible contract).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// No predicate overload on purpose: a predicate lambda is analyzed as
+  /// its own function and would need annotations of its own.  Write the
+  /// standard `while (!condition) cv.wait(mutex);` loop instead — the loop
+  /// body is then checked against the enclosing function's capabilities.
+  void wait(Mutex& mutex) SRP_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.m_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace srp

@@ -1,0 +1,69 @@
+// Clang thread-safety (capability) annotations for the Sirpent tree.
+//
+// The concurrency discipline mirrors the contract discipline in
+// contract.hpp: invariants are stated in the source and machine-checked.
+// Here the invariant is "this field is only touched while that mutex is
+// held", expressed with Clang's capability attributes and enforced at
+// compile time by -Wthread-safety (the lint.sh pass and the
+// clang-thread-safety CI job promote it to an error).  Under GCC — which
+// has no equivalent analysis — every macro expands to nothing, so the
+// annotations are free documentation there and a hard gate under Clang.
+//
+// Usage (see sync.hpp for the annotated srp::Mutex these attach to):
+//
+//   srp::Mutex mutex_;
+//   int shared_ SRP_GUARDED_BY(mutex_);
+//   void helper() SRP_REQUIRES(mutex_);   // caller must hold mutex_
+//   void api()    SRP_EXCLUDES(mutex_);   // caller must NOT hold mutex_
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SRP_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef SRP_THREAD_ANNOTATION_
+#define SRP_THREAD_ANNOTATION_(x)  // no-op: GCC / MSVC / old Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define SRP_CAPABILITY(x) SRP_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SRP_SCOPED_CAPABILITY SRP_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read or written while holding @p x.
+#define SRP_GUARDED_BY(x) SRP_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding @p x.
+#define SRP_PT_GUARDED_BY(x) SRP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define SRP_REQUIRES(...) \
+  SRP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities held *shared* on entry.
+#define SRP_REQUIRES_SHARED(...) \
+  SRP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability; it must not be held on entry.
+#define SRP_ACQUIRE(...) \
+  SRP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability; it must be held on entry.
+#define SRP_RELEASE(...) \
+  SRP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns @p ret (first arg).
+#define SRP_TRY_ACQUIRE(...) \
+  SRP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define SRP_EXCLUDES(...) SRP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define SRP_RETURN_CAPABILITY(x) SRP_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch; every use must carry a comment justifying it.
+#define SRP_NO_THREAD_SAFETY_ANALYSIS \
+  SRP_THREAD_ANNOTATION_(no_thread_safety_analysis)

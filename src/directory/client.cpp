@@ -26,20 +26,23 @@ RouteCache::Entry* RouteCache::fetch(const std::string& name,
   return &e;
 }
 
-const IssuedRoute* RouteCache::route_to(const std::string& name,
-                                        QueryOptions options) {
+std::optional<IssuedRoute> RouteCache::route_to(const std::string& name,
+                                                QueryOptions options) {
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end() ||
       sim_.now() - it->second.fetched_at > config_.ttl) {
     Entry* e = fetch(name, options);
-    return e == nullptr ? nullptr : &e->routes[e->active];
+    if (e == nullptr) return std::nullopt;
+    return e->routes[e->active];
   }
   ++stats_.hits;
   Entry& e = it->second;
-  return &e.routes[e.active];
+  return e.routes[e.active];
 }
 
 void RouteCache::report_failure(const std::string& name) {
+  MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return;
   Entry& e = it->second;
@@ -56,6 +59,7 @@ void RouteCache::report_failure(const std::string& name) {
 }
 
 void RouteCache::report_rtt(const std::string& name, sim::Time rtt) {
+  MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return;
   Entry& e = it->second;
@@ -76,9 +80,15 @@ void RouteCache::report_rtt(const std::string& name, sim::Time rtt) {
 }
 
 sim::Time RouteCache::base_rtt(const std::string& name) const {
+  MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return 0;
   return 2 * it->second.routes[it->second.active].propagation_delay;
+}
+
+RouteCache::Stats RouteCache::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
 }
 
 }  // namespace srp::dir

@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 
+#include "check/sync.hpp"
 #include "directory/directory.hpp"
 #include "sim/simulator.hpp"
 
@@ -23,6 +25,12 @@ struct RouteCacheConfig {
   std::size_t routes_per_query = 3;    ///< alternatives requested
 };
 
+/// Capability-annotated monitor: cache state is SRP_GUARDED_BY an internal
+/// mutex and route_to() hands out value snapshots, so transport worker
+/// threads may consult cached routes and report RTTs concurrently.  The
+/// *miss* path still calls into the Directory and the simulator clock,
+/// which stay sim-thread-only — concurrent callers must therefore only hit
+/// warm entries (report_* and base_rtt are always safe; they never fetch).
 class RouteCache {
  public:
   struct Stats {
@@ -36,24 +44,27 @@ class RouteCache {
              std::uint32_t self_node, RouteCacheConfig config = {});
 
   /// Preferred route to @p name, fetching / refreshing as needed.
-  /// Returns nullptr when the name is unknown or unreachable.
-  const IssuedRoute* route_to(const std::string& name,
-                              QueryOptions options = {});
+  /// Returns a snapshot; nullopt when the name is unknown or unreachable.
+  std::optional<IssuedRoute> route_to(const std::string& name,
+                                      QueryOptions options = {})
+      SRP_EXCLUDES(mutex_);
 
   /// Transport reports a hard failure (timeout) on the current route:
   /// switch to the next alternate, or re-query when exhausted.
-  void report_failure(const std::string& name);
+  void report_failure(const std::string& name) SRP_EXCLUDES(mutex_);
 
   /// Transport reports a measured round trip; sustained inflation over the
   /// route's base RTT triggers a switch (congestion avoidance).
-  void report_rtt(const std::string& name, sim::Time rtt);
+  void report_rtt(const std::string& name, sim::Time rtt)
+      SRP_EXCLUDES(mutex_);
 
   /// Base round-trip time of the current route: twice the one-way
   /// propagation the directory advertised (the client "knows the base
   /// round trip time for the route").
-  [[nodiscard]] sim::Time base_rtt(const std::string& name) const;
+  [[nodiscard]] sim::Time base_rtt(const std::string& name) const
+      SRP_EXCLUDES(mutex_);
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const SRP_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -64,14 +75,16 @@ class RouteCache {
     QueryOptions options;
   };
 
-  Entry* fetch(const std::string& name, QueryOptions options);
+  Entry* fetch(const std::string& name, QueryOptions options)
+      SRP_REQUIRES(mutex_);
 
   sim::Simulator& sim_;
   Directory& directory_;
   std::uint32_t self_node_;
   RouteCacheConfig config_;
-  std::map<std::string, Entry> entries_;
-  Stats stats_;
+  mutable srp::Mutex mutex_;
+  std::map<std::string, Entry> entries_ SRP_GUARDED_BY(mutex_);
+  Stats stats_ SRP_GUARDED_BY(mutex_);
 };
 
 }  // namespace srp::dir

@@ -93,6 +93,10 @@ class Fabric {
   [[nodiscard]] TopologyDb& topology() { return topo_; }
   [[nodiscard]] Directory& directory() { return *directory_; }
   [[nodiscard]] tokens::Ledger& ledger() { return ledger_; }
+  /// The domain's token authority; nullptr before enable_tokens().
+  [[nodiscard]] const tokens::TokenAuthority* authority() const {
+    return authority_.has_value() ? &*authority_ : nullptr;
+  }
   [[nodiscard]] std::uint32_t id_of(const net::Node& node) const;
   [[nodiscard]] cc::SourceThrottle* throttle_of(const viper::ViperHost& h);
   [[nodiscard]] cc::CongestionController* controller_of(

@@ -1,0 +1,81 @@
+#include "exec/worker_pool.hpp"
+
+#include <utility>
+
+#include "check/contract.hpp"
+
+namespace srp::exec {
+
+WorkerPool::WorkerPool(int workers) {
+  SIRPENT_EXPECTS(workers >= 0);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::submit(Task task) {
+  SIRPENT_EXPECTS(task != nullptr);
+  if (threads_.empty()) {
+    // Serial pool: run inline.  Count under the lock so stats() stays
+    // exact even when a zero-worker pool is shared across threads.
+    {
+      MutexLock lock(mutex_);
+      ++stats_.submitted;
+      ++stats_.inline_runs;
+      ++stats_.executed;
+    }
+    task();
+    return;
+  }
+  {
+    MutexLock lock(mutex_);
+    SIRPENT_EXPECTS(!stopping_);
+    queue_.push_back(std::move(task));
+    ++stats_.submitted;
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ > 0) idle_cv_.wait(mutex_);
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+void WorkerPool::worker_main() {
+  for (;;) {
+    Task task;
+    {
+      MutexLock lock(mutex_);
+      while (queue_.empty() && !stopping_) work_cv_.wait(mutex_);
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      MutexLock lock(mutex_);
+      ++stats_.executed;
+      --active_;
+      SIRPENT_INVARIANT(active_ >= 0);
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace srp::exec

@@ -7,6 +7,9 @@
 namespace srp::sim {
 
 EventId Simulator::at(Time when, EventQueue::Callback cb) {
+  // Scheduling from a worker thread would race the event queue and break
+  // replay determinism; offloaded work reports back via its own monitor.
+  SIRPENT_EXPECTS(std::this_thread::get_id() == owner_);
   if (when < now_) {
     throw std::invalid_argument("Simulator::at: scheduling into the past");
   }
@@ -14,6 +17,7 @@ EventId Simulator::at(Time when, EventQueue::Callback cb) {
 }
 
 bool Simulator::step() {
+  SIRPENT_EXPECTS(std::this_thread::get_id() == owner_);
   if (events_.empty()) return false;
   auto [when, cb] = events_.pop();
   SIRPENT_INVARIANT(when >= now_);  // event queue returned a past event

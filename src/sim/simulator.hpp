@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <utility>
 
 #include "sim/event_queue.hpp"
@@ -16,6 +17,14 @@ namespace srp::sim {
 /// work on it; the run*() loop advances the clock to each event in time
 /// order.  Determinism: identical schedules (and identical RNG seeds in the
 /// components) replay identically.
+///
+/// Single-threaded is a checked contract, not a convention: with the
+/// exec::WorkerPool in the tree, a worker accidentally scheduling an event
+/// would silently destroy reproducibility.  The simulator records its
+/// owning thread at construction and (in contract-enabled builds) rejects
+/// at()/after()/run*() from any other thread — offloaded work must hand
+/// results back through its own synchronized state and let the sim thread
+/// consume them at a scheduled event (see tokens::ValidationEngine).
 class Simulator {
  public:
   Simulator() = default;
@@ -54,6 +63,7 @@ class Simulator {
 
   EventQueue events_;
   Time now_ = 0;
+  std::thread::id owner_ = std::this_thread::get_id();
 };
 
 }  // namespace srp::sim

@@ -1,0 +1,26 @@
+#include "stats/registry.hpp"
+
+namespace srp::stats {
+
+Counter& Registry::counter(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::map<std::string, std::uint64_t> Registry::snapshot() const {
+  MutexLock lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out.emplace(name, counter->value());
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace srp::stats

@@ -1,0 +1,60 @@
+// Named-counter registry safe to write from worker threads.
+//
+// The single-threaded harnesses read component stats structs directly;
+// once work fans across the exec::WorkerPool those structs cannot be
+// bumped from workers without racing.  Components that run on the pool
+// count through here instead: counters are lock-free atomics, and only
+// the name -> counter map is guarded.  Counter references are stable for
+// the registry's lifetime (std::map node stability), so the hot path is a
+// single relaxed fetch_add with no lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "check/sync.hpp"
+
+namespace srp::stats {
+
+/// One monotonically increasing counter.  Relaxed ordering: totals are
+/// read at batch boundaries (after WorkerPool::wait_idle), which already
+/// orders the memory.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The counter named @p name, created on first use.  The returned
+  /// reference stays valid for the registry's lifetime and may be cached
+  /// and bumped from any thread.
+  Counter& counter(const std::string& name) SRP_EXCLUDES(mutex_);
+
+  /// Point-in-time copy of every counter value.
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const
+      SRP_EXCLUDES(mutex_);
+
+  /// Process-wide registry for components without an obvious owner.
+  static Registry& global();
+
+ private:
+  mutable srp::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SRP_GUARDED_BY(mutex_);
+};
+
+}  // namespace srp::stats

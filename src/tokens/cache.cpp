@@ -4,22 +4,25 @@
 
 namespace srp::tokens {
 
-TokenCache::Entry* TokenCache::find(std::span<const std::uint8_t> token) {
+std::optional<TokenCache::Entry> TokenCache::lookup(
+    std::span<const std::uint8_t> token) {
+  MutexLock lock(mutex_);
   const auto it = entries_.find(key_of(token));
   if (it == entries_.end()) {
     ++stats_.misses;
-    return nullptr;
+    return std::nullopt;
   }
   ++stats_.hits;
   ++it->second.hits;
   // A cached entry is always a completed verification: exactly one of
   // valid / flagged ("subsequent packets using this token are blocked").
   SIRPENT_ENSURES(it->second.valid != it->second.flagged);
-  return &it->second;
+  return it->second;
 }
 
-TokenCache::Entry& TokenCache::store(std::span<const std::uint8_t> token,
-                                     std::optional<TokenBody> body) {
+TokenCache::Entry TokenCache::store(std::span<const std::uint8_t> token,
+                                    std::optional<TokenBody> body) {
+  MutexLock lock(mutex_);
   Entry& e = entries_[key_of(token)];
   if (body.has_value()) {
     e.valid = true;
@@ -33,23 +36,46 @@ TokenCache::Entry& TokenCache::store(std::span<const std::uint8_t> token,
   return e;
 }
 
-bool TokenCache::charge(Entry& entry, std::uint64_t bytes, Ledger& ledger) {
-  if (entry.flagged) {
-    ++stats_.flagged_rejects;
-    return false;
+TokenCache::ChargeResult TokenCache::charge(
+    std::span<const std::uint8_t> token, std::uint64_t bytes,
+    Ledger& ledger) {
+  std::uint32_t account = 0;
+  {
+    MutexLock lock(mutex_);
+    const auto it = entries_.find(key_of(token));
+    if (it == entries_.end()) return ChargeResult::kUnknown;
+    Entry& entry = it->second;
+    if (entry.flagged) {
+      ++stats_.flagged_rejects;
+      return ChargeResult::kFlagged;
+    }
+    SIRPENT_EXPECTS(entry.valid);
+    if (entry.body.byte_limit != 0 &&
+        entry.bytes_charged + bytes > entry.body.byte_limit) {
+      ++stats_.limit_rejects;
+      return ChargeResult::kLimitExhausted;
+    }
+    entry.bytes_charged += bytes;
+    // Charged usage never exceeds the minted limit (token-cache
+    // consistency).
+    SIRPENT_ENSURES(entry.body.byte_limit == 0 ||
+                    entry.bytes_charged <= entry.body.byte_limit);
+    account = entry.body.account;
   }
-  SIRPENT_EXPECTS(entry.valid);
-  if (entry.body.byte_limit != 0 &&
-      entry.bytes_charged + bytes > entry.body.byte_limit) {
-    ++stats_.limit_rejects;
-    return false;
-  }
-  entry.bytes_charged += bytes;
-  ledger.charge(entry.body.account, bytes);
-  // Charged usage never exceeds the minted limit (token-cache consistency).
-  SIRPENT_ENSURES(entry.body.byte_limit == 0 ||
-                  entry.bytes_charged <= entry.body.byte_limit);
-  return true;
+  // The ledger has its own monitor; charging outside our lock keeps the
+  // critical section minimal and the lock order acyclic.
+  ledger.charge(account, bytes);
+  return ChargeResult::kCharged;
+}
+
+TokenCache::Stats TokenCache::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+std::size_t TokenCache::size() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
 }
 
 }  // namespace srp::tokens

@@ -8,6 +8,13 @@
 // decoded authorization, are flagged on invalid tokens ("subsequent packets
 // using this token are then blocked"), and accumulate the per-account
 // packet/byte counts the paper charges through them.
+//
+// Thread safety: cache and ledger are capability-annotated monitors —
+// every shared field is SRP_GUARDED_BY an internal srp::Mutex and the API
+// traffics in value snapshots, never references into guarded state, so
+// the token-validation workers (tokens/validator.hpp) and the sim thread
+// can touch them concurrently.  Clang -Wthread-safety proves the locking;
+// tests/concurrency_test.cpp stresses it under TSan.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "check/sync.hpp"
 #include "crypto/siphash.hpp"
 #include "tokens/token.hpp"
 
@@ -30,29 +38,39 @@ enum class UncachedPolicy { kOptimistic, kBlocking, kDrop };
 struct AccountUsage {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
+
+  bool operator==(const AccountUsage&) const = default;
 };
 
 /// Accounting ledger: account id -> usage.  Shared by the routers of one
-/// administrative domain.
+/// administrative domain (and, once validation fans out, by their worker
+/// threads — hence the internal mutex).
 class Ledger {
  public:
-  void charge(std::uint32_t account, std::uint64_t bytes) {
+  void charge(std::uint32_t account, std::uint64_t bytes)
+      SRP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     auto& u = usage_[account];
     ++u.packets;
     u.bytes += bytes;
   }
 
-  [[nodiscard]] AccountUsage usage(std::uint32_t account) const {
+  [[nodiscard]] AccountUsage usage(std::uint32_t account) const
+      SRP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const auto it = usage_.find(account);
     return it == usage_.end() ? AccountUsage{} : it->second;
   }
 
-  [[nodiscard]] const std::map<std::uint32_t, AccountUsage>& all() const {
+  [[nodiscard]] std::map<std::uint32_t, AccountUsage> all() const
+      SRP_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return usage_;
   }
 
  private:
-  std::map<std::uint32_t, AccountUsage> usage_;
+  mutable srp::Mutex mutex_;
+  std::map<std::uint32_t, AccountUsage> usage_ SRP_GUARDED_BY(mutex_);
 };
 
 /// One router's token cache.
@@ -73,6 +91,14 @@ class TokenCache {
     std::uint64_t limit_rejects = 0;
   };
 
+  /// Outcome of charge().
+  enum class ChargeResult {
+    kCharged,         ///< usage recorded on entry and ledger
+    kUnknown,         ///< no completed verification for this token
+    kFlagged,         ///< token verified bad; packet must be blocked
+    kLimitExhausted,  ///< byte limit would be exceeded; packet rejected
+  };
+
   /// Cache key: hash of the encrypted token bytes (paper: "using the
   /// encrypted value as the key").
   static std::uint64_t key_of(std::span<const std::uint8_t> token) {
@@ -80,24 +106,31 @@ class TokenCache {
                              token);
   }
 
-  /// Looks up a token; counts hit/miss.
-  Entry* find(std::span<const std::uint8_t> token);
+  /// Looks up a token; counts hit/miss.  Returns a snapshot of the entry
+  /// (not a reference: the entry may be mutated concurrently).
+  std::optional<Entry> lookup(std::span<const std::uint8_t> token)
+      SRP_EXCLUDES(mutex_);
 
   /// Records the outcome of a (slow) verification.  nullopt body = invalid
-  /// token: the entry is flagged so subsequent users are blocked.
-  Entry& store(std::span<const std::uint8_t> token,
-               std::optional<TokenBody> body);
+  /// token: the entry is flagged so subsequent users are blocked.  Returns
+  /// a snapshot of the stored entry.
+  Entry store(std::span<const std::uint8_t> token,
+              std::optional<TokenBody> body) SRP_EXCLUDES(mutex_);
 
-  /// Charges @p bytes against the entry and its account.  Returns false
-  /// when the token's byte limit is exhausted (reject the packet).
-  bool charge(Entry& entry, std::uint64_t bytes, Ledger& ledger);
+  /// Atomically charges @p bytes against the token's entry, then (on
+  /// success) its account in @p ledger.  kCharged means the packet may be
+  /// forwarded; every other result rejects it.
+  ChargeResult charge(std::span<const std::uint8_t> token,
+                      std::uint64_t bytes, Ledger& ledger)
+      SRP_EXCLUDES(mutex_);
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] Stats stats() const SRP_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const SRP_EXCLUDES(mutex_);
 
  private:
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  Stats stats_;
+  mutable srp::Mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_ SRP_GUARDED_BY(mutex_);
+  Stats stats_ SRP_GUARDED_BY(mutex_);
 };
 
 }  // namespace srp::tokens

@@ -295,8 +295,9 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
     return std::nullopt;
   }
 
-  tokens::TokenCache::Entry* entry = token_cache_.find(seg.token);
-  if (entry != nullptr) {
+  const std::optional<tokens::TokenCache::Entry> entry =
+      token_cache_.lookup(seg.token);
+  if (entry.has_value()) {
     if (entry->flagged) {
       ++stats_.dropped_unauthorized;
       return std::nullopt;
@@ -320,7 +321,8 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
       return std::nullopt;
     }
     SIRPENT_INVARIANT(ledger_ != nullptr);
-    if (!token_cache_.charge(*entry, packet_bytes, *ledger_)) {
+    if (token_cache_.charge(seg.token, packet_bytes, *ledger_) !=
+        tokens::TokenCache::ChargeResult::kCharged) {
       ++stats_.dropped_token_limit;
       return std::nullopt;
     }
@@ -328,20 +330,31 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
   }
 
   // Miss: start the (slow) verification exactly once per token value.
+  // With a ValidationEngine attached, the XTEA decrypt + MAC check runs on
+  // the worker pool while simulated time passes; the completion event
+  // below awaits the ticket at exactly the instant the serial code would
+  // have computed the same (pure-function) result, so the simulation
+  // schedule is bit-identical either way.
   const std::uint64_t key = tokens::TokenCache::key_of(seg.token);
   if (!pending_verifies_.contains(key)) {
     pending_verifies_.insert(key);
     wire::Bytes token_copy = seg.token;
     const std::uint64_t first_packet_bytes = packet_bytes;
+    std::optional<tokens::ValidationEngine::Ticket> ticket;
+    if (validation_engine_ != nullptr) {
+      ticket = validation_engine_->submit(config_.router_id, token_copy);
+    }
     sim_.after(config_.verify_delay, [this, token_copy = std::move(token_copy),
-                                      first_packet_bytes, key] {
+                                      first_packet_bytes, key, ticket] {
       pending_verifies_.erase(key);
-      auto body = authority_->open(config_.router_id, token_copy);
-      auto& e = token_cache_.store(token_copy, body);
+      const std::optional<tokens::TokenBody> body =
+          ticket.has_value() ? validation_engine_->await(*ticket)
+                             : authority_->open(config_.router_id, token_copy);
+      const auto e = token_cache_.store(token_copy, body);
       if (e.valid && config_.uncached_policy ==
                          tokens::UncachedPolicy::kOptimistic) {
         // The optimistically forwarded first packet is charged now.
-        token_cache_.charge(e, first_packet_bytes, *ledger_);
+        token_cache_.charge(token_copy, first_packet_bytes, *ledger_);
       }
     });
   }

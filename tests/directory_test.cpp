@@ -218,8 +218,8 @@ TEST(RouteCacheTest, CachesAndSwitchesOnFailure) {
   directory.register_name("h5", d.h5, 0);
   RouteCache cache(sim, directory, d.h0);
 
-  const IssuedRoute* first = cache.route_to("h5");
-  ASSERT_NE(first, nullptr);
+  const std::optional<IssuedRoute> first = cache.route_to("h5");
+  ASSERT_TRUE(first.has_value());
   const sim::Time fast_delay = first->propagation_delay;
   EXPECT_EQ(cache.stats().queries, 1u);
 
@@ -229,8 +229,8 @@ TEST(RouteCacheTest, CachesAndSwitchesOnFailure) {
 
   // Failure switches to the cached alternate without a new query.
   cache.report_failure("h5");
-  const IssuedRoute* second = cache.route_to("h5");
-  ASSERT_NE(second, nullptr);
+  const std::optional<IssuedRoute> second = cache.route_to("h5");
+  ASSERT_TRUE(second.has_value());
   EXPECT_GT(second->propagation_delay, fast_delay);
   EXPECT_EQ(cache.stats().switches, 1u);
   EXPECT_EQ(cache.stats().queries, 1u);
@@ -245,8 +245,8 @@ TEST(RouteCacheTest, SustainedRttInflationSwitches) {
   config.degraded_threshold = 3;
   config.rtt_degraded_factor = 3.0;
   RouteCache cache(sim, directory, d.h0, config);
-  const IssuedRoute* route = cache.route_to("h5");
-  ASSERT_NE(route, nullptr);
+  const std::optional<IssuedRoute> route = cache.route_to("h5");
+  ASSERT_TRUE(route.has_value());
   const sim::Time base = cache.base_rtt("h5");
   EXPECT_EQ(base, 2 * route->propagation_delay);
 

@@ -79,19 +79,19 @@ TEST(Token, MalformedSizesRejected) {
 TEST(TokenCache, HitMissAndFlagging) {
   TokenCache cache;
   const wire::Bytes token(40, 0x22);
-  EXPECT_EQ(cache.find(token), nullptr);
+  EXPECT_FALSE(cache.lookup(token).has_value());
   EXPECT_EQ(cache.stats().misses, 1u);
 
   cache.store(token, sample_body());
-  auto* entry = cache.find(token);
-  ASSERT_NE(entry, nullptr);
+  auto entry = cache.lookup(token);
+  ASSERT_TRUE(entry.has_value());
   EXPECT_TRUE(entry->valid);
   EXPECT_EQ(cache.stats().hits, 1u);
 
   // Storing a failed verification flags the entry.
   cache.store(token, std::nullopt);
-  entry = cache.find(token);
-  ASSERT_NE(entry, nullptr);
+  entry = cache.lookup(token);
+  ASSERT_TRUE(entry.has_value());
   EXPECT_TRUE(entry->flagged);
 }
 
@@ -99,13 +99,28 @@ TEST(TokenCache, ChargingAndLimits) {
   TokenCache cache;
   Ledger ledger;
   const wire::Bytes token(40, 0x33);
-  auto& entry = cache.store(token, sample_body());  // limit 10'000
-  EXPECT_TRUE(cache.charge(entry, 6'000, ledger));
-  EXPECT_TRUE(cache.charge(entry, 4'000, ledger));
-  EXPECT_FALSE(cache.charge(entry, 1, ledger));  // limit exhausted
+  cache.store(token, sample_body());  // limit 10'000
+  using Result = TokenCache::ChargeResult;
+  EXPECT_EQ(cache.charge(token, 6'000, ledger), Result::kCharged);
+  EXPECT_EQ(cache.charge(token, 4'000, ledger), Result::kCharged);
+  // Limit exhausted.
+  EXPECT_EQ(cache.charge(token, 1, ledger), Result::kLimitExhausted);
   EXPECT_EQ(cache.stats().limit_rejects, 1u);
   EXPECT_EQ(ledger.usage(1234).packets, 2u);
   EXPECT_EQ(ledger.usage(1234).bytes, 10'000u);
+}
+
+TEST(TokenCache, ChargeOutcomes) {
+  TokenCache cache;
+  Ledger ledger;
+  using Result = TokenCache::ChargeResult;
+  const wire::Bytes unknown(40, 0x55);
+  EXPECT_EQ(cache.charge(unknown, 10, ledger), Result::kUnknown);
+  const wire::Bytes bad(40, 0x66);
+  cache.store(bad, std::nullopt);  // failed verification: flagged
+  EXPECT_EQ(cache.charge(bad, 10, ledger), Result::kFlagged);
+  EXPECT_EQ(cache.stats().flagged_rejects, 1u);
+  EXPECT_EQ(ledger.usage(1234).packets, 0u);
 }
 
 TEST(TokenCache, UnlimitedTokenNeverExhausts) {
@@ -113,9 +128,11 @@ TEST(TokenCache, UnlimitedTokenNeverExhausts) {
   Ledger ledger;
   TokenBody body = sample_body();
   body.byte_limit = 0;
-  auto& entry = cache.store(wire::Bytes(40, 0x44), body);
+  const wire::Bytes token(40, 0x44);
+  cache.store(token, body);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_TRUE(cache.charge(entry, 1'000'000, ledger));
+    EXPECT_EQ(cache.charge(token, 1'000'000, ledger),
+              TokenCache::ChargeResult::kCharged);
   }
 }
 
