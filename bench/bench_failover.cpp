@@ -18,6 +18,7 @@
 
 #include "bench_util.hpp"
 #include "directory/client.hpp"
+#include "fault/engine.hpp"
 #include "ip/builder.hpp"
 
 namespace srp::bench {
@@ -104,7 +105,13 @@ GapResult run_sirpent(sim::Time min_rto, int max_retries) {
   };
   sim.at(1, [step] { (*step)(); });
 
-  sim.at(kFailAt, [&] { fabric.fail_link_silently(r1, r2); });
+  // Silent failure of the primary path: both directions of the r1—r2 link
+  // go down at kFailAt with no directory advisory — injected through the
+  // fault engine, the same path the chaos suite uses.
+  stats::Registry fault_stats;
+  fault::FaultEngine faults(sim, fault::FaultPlan{}, fault_stats);
+  faults.schedule_flap(r1.port(2), kFailAt, kEnd);
+  faults.schedule_flap(r2.port(1), kFailAt, kEnd);
   sim.run_until(kEnd);
   return result;
 }

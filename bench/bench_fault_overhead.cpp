@@ -1,0 +1,115 @@
+// Fault-hook overhead on the TxPort enqueue fast path.
+//
+// The generalized fault_hook replaced the ad-hoc drop_filter; its cost
+// contract is "one untaken branch" when no plan is installed.  These
+// microbenchmarks measure TxPort::enqueue end to end in four
+// configurations:
+//
+//   none         — no hook installed (the normal data path),
+//   empty_plan   — a FaultEngine attached with a plan whose lanes can
+//                  never fire: attach() must leave the port untouched,
+//                  so this must match `none`,
+//   passthrough  — an installed hook that always passes: the price of an
+//                  occupied std::function slot,
+//   full_plan    — every probabilistic lane live at 1%: the price of the
+//                  per-packet RNG draws when chaos is actually on.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <string>
+
+#include "fault/engine.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "stats/registry.hpp"
+
+namespace {
+
+using namespace srp;
+
+/// Discards every arrival.
+class NullNode : public net::PortedNode {
+ public:
+  NullNode(sim::Simulator& sim, std::string name)
+      : net::PortedNode(sim, std::move(name)) {}
+  void on_arrival(const net::Arrival&) override {}
+};
+
+enum class Mode { kNone, kEmptyPlan, kPassthrough, kFullPlan };
+
+void BM_Enqueue(benchmark::State& state, Mode mode) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::PacketFactory packets;
+  auto& a = net.add<NullNode>("a");
+  auto& b = net.add<NullNode>("b");
+  const auto [pa, pb] =
+      net.duplex(a, b, net::LinkConfig{1e12, 0, 1500});
+  (void)pb;
+  net::TxPort& port = a.port(pa);
+
+  stats::Registry registry;
+  fault::FaultPlan plan;
+  std::optional<fault::FaultEngine> engine;
+  switch (mode) {
+    case Mode::kNone:
+      break;
+    case Mode::kEmptyPlan:
+      // All lanes zero: attach() must refuse to install a hook.
+      engine.emplace(sim, plan, registry);
+      engine->attach(port);
+      break;
+    case Mode::kPassthrough:
+      port.fault_hook = [](net::PacketPtr&, net::TxMeta&, sim::Time&) {
+        return net::FaultVerdict::kPass;
+      };
+      break;
+    case Mode::kFullPlan: {
+      fault::LaneConfig& lane = plan.lane(port.name());
+      lane.drop_rate = 0.01;
+      lane.corrupt_rate = 0.01;
+      lane.duplicate_rate = 0.01;
+      lane.reorder_rate = 0.01;
+      lane.jitter_rate = 0.01;
+      engine.emplace(sim, plan, registry);
+      engine->attach(port);
+      break;
+    }
+  }
+
+  const wire::Bytes image(256, 0x42);
+  std::size_t n = 0;
+  for (auto _ : state) {
+    port.enqueue(packets.make(image, sim.now()), net::TxMeta{}, 0);
+    if (++n % 512 == 0) {
+      // Drain outside the timed region so the queue stays short and the
+      // measurement tracks the enqueue path, not queue growth.
+      state.PauseTiming();
+      sim.run();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+
+void BM_EnqueueNoHook(benchmark::State& state) {
+  BM_Enqueue(state, Mode::kNone);
+}
+void BM_EnqueueEmptyPlan(benchmark::State& state) {
+  BM_Enqueue(state, Mode::kEmptyPlan);
+}
+void BM_EnqueuePassthroughHook(benchmark::State& state) {
+  BM_Enqueue(state, Mode::kPassthrough);
+}
+void BM_EnqueueFullPlan(benchmark::State& state) {
+  BM_Enqueue(state, Mode::kFullPlan);
+}
+
+BENCHMARK(BM_EnqueueNoHook);
+BENCHMARK(BM_EnqueueEmptyPlan);
+BENCHMARK(BM_EnqueuePassthroughHook);
+BENCHMARK(BM_EnqueueFullPlan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

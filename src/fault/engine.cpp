@@ -1,0 +1,235 @@
+#include "fault/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "check/contract.hpp"
+
+namespace srp::fault {
+namespace {
+
+/// FNV-1a over the target name: the per-target seed perturbation.  Names
+/// are unique within a simulation (node name + port index), so streams
+/// never collide in practice.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+net::PacketPtr clone_packet(const net::Packet& packet) {
+  auto copy = std::make_shared<net::Packet>();
+  copy->bytes = packet.bytes;
+  copy->id = packet.id;
+  copy->created = packet.created;
+  copy->flow = packet.flow;
+  copy->hops = packet.hops;
+  copy->truncated = packet.truncated;
+  copy->last_in_port = packet.last_in_port;
+  copy->feedforward = packet.feedforward;
+  copy->recirculations = packet.recirculations;
+  copy->parent = packet.parent;
+  return copy;
+}
+
+FaultEngine::FaultEngine(sim::Simulator& sim, FaultPlan plan,
+                         stats::Registry& registry, sim::Trace* trace)
+    : sim_(sim), plan_(std::move(plan)), registry_(registry), trace_(trace) {}
+
+sim::Rng FaultEngine::stream_for(const std::string& target_name) const {
+  // Seed mixing happens inside Rng (SplitMix64), so XOR is enough to give
+  // every target a well-separated stream from the single plan seed.
+  return sim::Rng(plan_.seed ^ fnv1a(target_name));
+}
+
+void FaultEngine::note(const std::string& target, const char* lane,
+                       std::uint64_t detail) {
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->emit(sim_.now(), "fault",
+                 target + " " + lane + " id=" + std::to_string(detail));
+  }
+}
+
+void FaultEngine::attach(net::TxPort& port) {
+  const LaneConfig& lane = plan_.lane_for(port.name());
+  if (!lane.any()) return;
+
+  ports_.emplace_back(&port, lane, stream_for(port.name()));
+  PortState& state = ports_.back();
+  const std::string& name = port.name();
+  state.dropped = &registry_.counter("fault." + name + ".drop");
+  state.corrupted = &registry_.counter("fault." + name + ".corrupt");
+  state.duplicated = &registry_.counter("fault." + name + ".duplicate");
+  state.reordered = &registry_.counter("fault." + name + ".reorder");
+  state.jittered = &registry_.counter("fault." + name + ".jitter");
+  state.flapped = &registry_.counter("fault." + name + ".flap");
+
+  if (lane.drop_rate > 0 || lane.corrupt_rate > 0 ||
+      lane.duplicate_rate > 0 || lane.reorder_rate > 0 ||
+      lane.jitter_rate > 0) {
+    port.fault_hook = [this, &state](net::PacketPtr& packet,
+                                     net::TxMeta& meta,
+                                     sim::Time& earliest_start) {
+      return on_enqueue(state, packet, meta, earliest_start);
+    };
+  }
+  if (lane.flaps_per_second > 0) schedule_next_flap(state);
+}
+
+void FaultEngine::attach_all(net::PortedNode& node) {
+  for (int i = 1; i <= node.port_count(); ++i) attach(node.port(i));
+}
+
+net::FaultVerdict FaultEngine::on_enqueue(PortState& state,
+                                          net::PacketPtr& packet,
+                                          net::TxMeta& meta,
+                                          sim::Time& earliest_start) {
+  const LaneConfig& lane = state.lane;
+  sim::Rng& rng = state.rng;
+
+  // Lane order is fixed — it is part of the seed-replay contract.
+  if (lane.drop_rate > 0 && rng.chance(lane.drop_rate)) {
+    state.dropped->add();
+    note(state.port->name(), "drop", packet->id);
+    return net::FaultVerdict::kDrop;
+  }
+
+  if (lane.corrupt_rate > 0 && rng.chance(lane.corrupt_rate) &&
+      !packet->bytes.empty()) {
+    // Corrupt a private copy: the caller may share this image with an
+    // upstream cut-through chain that must keep its own bytes intact.
+    net::PacketPtr damaged = clone_packet(*packet);
+    corrupt_bytes(state, damaged->bytes);
+    state.corrupted->add();
+    note(state.port->name(), "corrupt", packet->id);
+    packet = std::move(damaged);
+  }
+
+  if (lane.duplicate_rate > 0 && rng.chance(lane.duplicate_rate)) {
+    const sim::Time lag =
+        1 + static_cast<sim::Time>(rng.uniform_int(
+                0, static_cast<std::uint64_t>(lane.duplicate_lag_max)));
+    state.duplicated->add();
+    note(state.port->name(), "duplicate", packet->id);
+    sim_.after(lag, [port = state.port, copy = clone_packet(*packet), meta,
+                     earliest_start]() mutable {
+      port->enqueue_unfiltered(std::move(copy), meta, earliest_start);
+    });
+  }
+
+  if (lane.reorder_rate > 0 && rng.chance(lane.reorder_rate)) {
+    // Hold the packet so traffic behind it overtakes; it re-enters through
+    // the unfiltered path (a held packet is not perturbed twice).
+    const sim::Time hold =
+        1 + static_cast<sim::Time>(rng.uniform_int(
+                0, static_cast<std::uint64_t>(lane.reorder_hold_max)));
+    state.reordered->add();
+    note(state.port->name(), "reorder", packet->id);
+    sim_.after(hold, [port = state.port, held = std::move(packet), meta,
+                      earliest_start]() mutable {
+      port->enqueue_unfiltered(std::move(held), meta, earliest_start);
+    });
+    return net::FaultVerdict::kConsume;
+  }
+
+  if (lane.jitter_rate > 0 && rng.chance(lane.jitter_rate)) {
+    const sim::Time jitter = static_cast<sim::Time>(
+        rng.uniform_int(1, static_cast<std::uint64_t>(
+                               std::max<sim::Time>(lane.jitter_max, 1))));
+    state.jittered->add();
+    note(state.port->name(), "jitter", packet->id);
+    earliest_start = std::max(earliest_start, sim_.now()) + jitter;
+  }
+
+  return net::FaultVerdict::kPass;
+}
+
+void FaultEngine::corrupt_bytes(PortState& state, wire::Bytes& bytes) {
+  SIRPENT_EXPECTS(!bytes.empty());
+  sim::Rng& rng = state.rng;
+  const std::uint64_t total_bits = bytes.size() * 8;
+  const std::uint64_t flips = rng.uniform_int(
+      1, static_cast<std::uint64_t>(std::max(state.lane.corrupt_max_bits, 1)));
+  if (state.lane.corrupt_burst) {
+    // A contiguous run of flipped bits starting anywhere in the image.
+    const std::uint64_t start = rng.uniform_int(0, total_bits - 1);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      const std::uint64_t bit = (start + i) % total_bits;
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  } else {
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      const std::uint64_t bit = rng.uniform_int(0, total_bits - 1);
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+}
+
+void FaultEngine::schedule_next_flap(PortState& state) {
+  const double mean_gap_seconds = 1.0 / state.lane.flaps_per_second;
+  const sim::Time gap = state.rng.exp_interval(
+      static_cast<sim::Time>(mean_gap_seconds * sim::kSecond));
+  const sim::Time down_for = static_cast<sim::Time>(state.rng.uniform_int(
+      static_cast<std::uint64_t>(state.lane.flap_down_min),
+      static_cast<std::uint64_t>(
+          std::max(state.lane.flap_down_max, state.lane.flap_down_min))));
+  sim_.after(gap, [this, &state, down_for] {
+    state.flapped->add();
+    note(state.port->name(), "flap", static_cast<std::uint64_t>(down_for));
+    state.port->set_up(false);
+    sim_.after(down_for, [this, &state] {
+      state.port->set_up(true);
+      schedule_next_flap(state);
+    });
+  });
+}
+
+void FaultEngine::schedule_flap(net::TxPort& port, sim::Time down_at,
+                                sim::Time down_for) {
+  SIRPENT_EXPECTS(down_for > 0);
+  stats::Counter& counter =
+      registry_.counter("fault." + port.name() + ".flap");
+  sim_.at(down_at, [this, &port, &counter, down_for] {
+    counter.add();
+    note(port.name(), "flap", static_cast<std::uint64_t>(down_for));
+    port.set_up(false);
+    sim_.after(down_for, [&port] { port.set_up(true); });
+  });
+}
+
+void FaultEngine::attach_token_cache(const std::string& name,
+                                     tokens::TokenCache& cache) {
+  if (plan_.token_poisons_per_second <= 0) return;
+  stats::Counter& counter =
+      registry_.counter("fault." + name + ".token_poison");
+  schedule_next_poison(name, cache, stream_for(name + "/tokens"), counter);
+}
+
+void FaultEngine::schedule_next_poison(const std::string& name,
+                                       tokens::TokenCache& cache,
+                                       sim::Rng rng,
+                                       stats::Counter& counter) {
+  const double mean_gap_seconds = 1.0 / plan_.token_poisons_per_second;
+  const sim::Time gap =
+      rng.exp_interval(static_cast<sim::Time>(mean_gap_seconds * sim::kSecond));
+  const std::uint64_t selector = rng.next_u64();
+  sim_.after(gap, [this, name, &cache, rng, &counter, selector]() mutable {
+    if (cache.poison(selector, plan_.token_poison_flag) > 0) {
+      counter.add();
+      note(name, "token_poison", selector);
+    }
+    schedule_next_poison(name, cache, rng, counter);
+  });
+}
+
+std::uint64_t FaultEngine::count(const std::string& target,
+                                 const std::string& lane) const {
+  return registry_.counter("fault." + target + "." + lane).value();
+}
+
+}  // namespace srp::fault

@@ -1,0 +1,108 @@
+// Deterministic fault-injection engine: executes a FaultPlan against the
+// simulated forwarding plane.
+//
+// The engine installs a net::TxPort::fault_hook on every attached port and
+// drives the schedule-driven lanes (link flaps, token-cache poisoning)
+// from simulator events.  Every random decision comes from a per-target
+// RNG stream derived from the plan seed and the target's *name* — not
+// from attach order — so a topology attached in any order replays
+// byte-identically from one seed.
+//
+// Each lane fires through a stats::Registry counter named
+// "fault.<target>.<lane>" and, when a sim::Trace is supplied and enabled,
+// leaves a trace record; chaos tests reconcile these counters against the
+// end-to-end transport counters to prove every injected fault was either
+// absorbed or detected.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "net/network.hpp"
+#include "net/port.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "stats/registry.hpp"
+#include "tokens/cache.hpp"
+
+namespace srp::fault {
+
+class FaultEngine {
+ public:
+  /// The engine schedules on @p sim and counts through @p registry.
+  /// @p trace is optional; records are emitted only while it is enabled.
+  FaultEngine(sim::Simulator& sim, FaultPlan plan, stats::Registry& registry,
+              sim::Trace* trace = nullptr);
+
+  /// Installs the plan's lane for @p port (by port name).  A port whose
+  /// lane can never fire is left untouched — its enqueue path keeps the
+  /// single untaken `if (fault_hook)` branch.
+  void attach(net::TxPort& port);
+
+  /// Attaches every port of @p node.
+  void attach_all(net::PortedNode& node);
+
+  /// Explicit flap window: @p port goes down at @p down_at and recovers
+  /// @p down_for later, independent of the lane's flap process.  Packets
+  /// queued or transmitting at the moment of failure are lost, exactly as
+  /// fabric link failure loses them.
+  void schedule_flap(net::TxPort& port, sim::Time down_at,
+                     sim::Time down_for);
+
+  /// Subjects @p cache to the plan's token-poisoning process; @p name
+  /// keys the counters (use the owning router's name).
+  void attach_token_cache(const std::string& name,
+                          tokens::TokenCache& cache);
+
+  /// Convenience: value of counter "fault.<target>.<lane>".
+  [[nodiscard]] std::uint64_t count(const std::string& target,
+                                    const std::string& lane) const;
+
+ private:
+  struct PortState {
+    net::TxPort* port = nullptr;
+    LaneConfig lane;
+    sim::Rng rng;
+    stats::Counter* dropped = nullptr;
+    stats::Counter* corrupted = nullptr;
+    stats::Counter* duplicated = nullptr;
+    stats::Counter* reordered = nullptr;
+    stats::Counter* jittered = nullptr;
+    stats::Counter* flapped = nullptr;
+
+    PortState(net::TxPort* p, LaneConfig l, sim::Rng r)
+        : port(p), lane(l), rng(r) {}
+  };
+
+  net::FaultVerdict on_enqueue(PortState& state, net::PacketPtr& packet,
+                               net::TxMeta& meta, sim::Time& earliest_start);
+  void corrupt_bytes(PortState& state, wire::Bytes& bytes);
+  void schedule_next_flap(PortState& state);
+  void schedule_next_poison(const std::string& name,
+                            tokens::TokenCache& cache, sim::Rng rng,
+                            stats::Counter& counter);
+
+  /// Independent RNG stream for @p target_name (attach-order free).
+  [[nodiscard]] sim::Rng stream_for(const std::string& target_name) const;
+
+  void note(const std::string& target, const char* lane,
+            std::uint64_t detail);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  stats::Registry& registry_;
+  sim::Trace* trace_ = nullptr;
+  /// deque: PortState addresses must stay stable — the installed hooks
+  /// capture them.
+  std::deque<PortState> ports_;
+};
+
+/// Deep copy of a packet sharing no mutable state with the original: fresh
+/// wire image, identical measurement side-band (same id — duplicates *are*
+/// the same packet to the endpoints), same truncation ancestry.
+net::PacketPtr clone_packet(const net::Packet& packet);
+
+}  // namespace srp::fault

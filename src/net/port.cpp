@@ -6,6 +6,13 @@
 
 namespace srp::net {
 
+FaultHook drop_when(std::function<bool(const Packet&)> predicate) {
+  return [pred = std::move(predicate)](PacketPtr& packet, TxMeta&,
+                                       sim::Time&) {
+    return pred(*packet) ? FaultVerdict::kDrop : FaultVerdict::kPass;
+  };
+}
+
 TxPort::TxPort(sim::Simulator& sim, std::string name, LinkConfig config)
     : sim_(sim), name_(std::move(name)), config_(config) {}
 
@@ -21,13 +28,28 @@ void TxPort::notify_queue_change() {
 }
 
 void TxPort::enqueue(PacketPtr packet, TxMeta meta, sim::Time earliest_start) {
+  if (fault_hook) {
+    switch (fault_hook(packet, meta, earliest_start)) {
+      case FaultVerdict::kPass:
+        break;
+      case FaultVerdict::kDrop:
+        ++stats_.enqueued;
+        ++stats_.dropped_injected;
+        return;
+      case FaultVerdict::kConsume:
+        // The hook re-injects (or drops and counts) the packet itself; it
+        // is accounted when it re-enters through enqueue_unfiltered().
+        return;
+    }
+  }
+  enqueue_unfiltered(std::move(packet), meta, earliest_start);
+}
+
+void TxPort::enqueue_unfiltered(PacketPtr packet, TxMeta meta,
+                                sim::Time earliest_start) {
   ++stats_.enqueued;
   if (!up_) {
     ++stats_.dropped_down;
-    return;
-  }
-  if (drop_filter && drop_filter(*packet)) {
-    ++stats_.dropped_injected;
     return;
   }
 

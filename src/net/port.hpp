@@ -35,6 +35,26 @@ struct TxMeta {
   bool drop_if_blocked = false;  ///< paper's "drop" blocked-packet policy
 };
 
+/// Verdict returned by a TxPort fault hook.
+enum class FaultVerdict : std::uint8_t {
+  kPass,     ///< transmit (the hook may have mutated packet/meta/start)
+  kDrop,     ///< discard silently; counted as dropped_injected
+  kConsume,  ///< hook took custody; it re-injects via enqueue_unfiltered()
+};
+
+/// Generalized fault-injection hook (see src/fault): consulted once per
+/// enqueue().  It may mutate the packet, its scheduling metadata and its
+/// earliest-start bound in place (corruption, delay jitter), drop the
+/// packet, or take custody of it for later re-injection (reordering,
+/// duplication).  Exactly one injection path: this hook subsumes the old
+/// ad-hoc drop_filter predicate.
+using FaultHook = std::function<FaultVerdict(
+    PacketPtr& packet, TxMeta& meta, sim::Time& earliest_start)>;
+
+/// Adapts a boolean predicate into a FaultHook dropping matching packets —
+/// the old drop_filter semantics, for targeted loss in tests.
+FaultHook drop_when(std::function<bool(const Packet&)> predicate);
+
 /// Transmitter of one simplex channel, with a bounded priority queue.
 class TxPort {
  public:
@@ -67,6 +87,12 @@ class TxPort {
   /// router forbid transmission before the header has actually arrived.
   void enqueue(PacketPtr packet, TxMeta meta, sim::Time earliest_start = 0);
 
+  /// Hands a packet to the port bypassing the fault hook — the re-injection
+  /// path for delayed/duplicated packets, which must not be perturbed a
+  /// second time.
+  void enqueue_unfiltered(PacketPtr packet, TxMeta meta,
+                          sim::Time earliest_start = 0);
+
   /// Bounds the queue in bytes (the paper's "output buffer space").
   /// Unlimited by default.
   void set_buffer_limit(std::size_t bytes);
@@ -89,9 +115,8 @@ class TxPort {
   [[nodiscard]] std::size_t queue_bytes() const { return queue_bytes_; }
   [[nodiscard]] std::size_t queue_packets() const { return queue_.size(); }
 
-  /// Loss injection for tests and failure benches: a packet for which this
-  /// returns true is silently discarded instead of transmitted.
-  std::function<bool(const Packet&)> drop_filter;
+  /// Fault-injection hook; empty (one untaken branch) in normal operation.
+  FaultHook fault_hook;
 
   /// Alternative to dropping on buffer exhaustion (the paper's Blazenet-
   /// style deferral: "looping it back to a previous node ... or entering

@@ -68,6 +68,21 @@ TokenCache::ChargeResult TokenCache::charge(
   return ChargeResult::kCharged;
 }
 
+std::size_t TokenCache::poison(std::uint64_t selector, bool flag) {
+  MutexLock lock(mutex_);
+  if (entries_.empty()) return 0;
+  auto it = entries_.begin();
+  std::advance(it, static_cast<long>(selector % entries_.size()));
+  if (flag) {
+    it->second.valid = false;
+    it->second.flagged = true;
+    SIRPENT_ENSURES(it->second.valid != it->second.flagged);
+  } else {
+    entries_.erase(it);
+  }
+  return 1;
+}
+
 TokenCache::Stats TokenCache::stats() const {
   MutexLock lock(mutex_);
   return stats_;

@@ -124,6 +124,16 @@ class TokenCache {
                       std::uint64_t bytes, Ledger& ledger)
       SRP_EXCLUDES(mutex_);
 
+  /// Fault injection (src/fault): perturbs the cache entry selected by
+  /// @p selector (an arbitrary 64-bit draw; the entry at selector mod size
+  /// is hit).  With @p flag false the entry is forgotten — the next user of
+  /// that token takes a miss and re-verifies; with @p flag true the entry
+  /// is marked bad, blocking subsequent users until end-to-end recovery
+  /// reroutes around this router.  Returns the number of entries affected
+  /// (0 when the cache is empty).
+  std::size_t poison(std::uint64_t selector, bool flag)
+      SRP_EXCLUDES(mutex_);
+
   [[nodiscard]] Stats stats() const SRP_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t size() const SRP_EXCLUDES(mutex_);
 

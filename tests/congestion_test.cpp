@@ -52,24 +52,25 @@ struct BottleneckTest : ::testing::Test {
   static constexpr std::size_t kPacket = 1000;
 
   void build(bool with_cc) {
-    src = &fabric.add_host("src.test");
-    r1 = &fabric.add_router("r1");
-    r2 = &fabric.add_router("r2");
-    dst = &fabric.add_host("dst.test");
     dir::LinkParams fast;
     fast.rate_bps = 1e9;
     dir::LinkParams slow;
     slow.rate_bps = kBottleneck;
-    fabric.connect(*src, *r1, fast);
-    fabric.connect(*r1, *r2, slow);  // r1 port 2: the bottleneck
-    fabric.connect(*r2, *dst, slow);
+    // src -(fast)- r1 -(slow, the bottleneck at r1 port 2)- r2 -(slow)- dst
+    test::Line line = test::build_line(
+        fabric, 2, "src.test", "dst.test", {},
+        [&](int hop) { return hop == 0 ? fast : slow; });
+    src = line.src;
+    r1 = &line.router(0);
+    r2 = &line.router(1);
+    dst = line.dst;
     if (with_cc) {
       ControllerConfig config;
       config.interval = sim::kMillisecond;
       config.queue_watermark_bytes = 16'000;
       fabric.enable_congestion_control(config);
     }
-    route.segments = {p2p_segment(2), p2p_segment(2), local_segment()};
+    route = test::line_route(2);
     dst->set_default_handler([this](const viper::Delivery&) { ++delivered; });
     r1->port(2).on_queue_change = [this](sim::Time, std::size_t n) {
       max_queue_packets = std::max(max_queue_packets, n);
@@ -80,11 +81,7 @@ struct BottleneckTest : ::testing::Test {
   /// throttle when congestion control is on (a rate-based transport).
   void pump(sim::Time interval, sim::Time until) {
     const FlowKey key{fabric.id_of(*r1), 2};
-    auto step = std::make_shared<std::function<void()>>();
-    // The chain owns itself through the pending event only (weak self
-    // capture): no shared_ptr cycle, so the pump frees when it stops.
-    *step = [this, interval, until, key, weak = std::weak_ptr(step)] {
-      if (sim.now() >= until) return;
+    test::drive(sim, 1, until, [this, key, interval]() -> sim::Time {
       SourceThrottle* throttle = fabric.throttle_of(*src);
       sim::Time when = sim.now();
       if (throttle != nullptr) {
@@ -93,11 +90,8 @@ struct BottleneckTest : ::testing::Test {
       sim.at(std::max(when, sim.now()), [this] {
         src->send(route, pattern_bytes(kPacket));
       });
-      const sim::Time next = std::max(when, sim.now()) + interval;
-      sim.at(std::max(next, sim.now() + 1),
-             [self = weak.lock()] { (*self)(); });
-    };
-    sim.at(1, [step] { (*step)(); });
+      return std::max(when, sim.now()) + interval - sim.now();
+    });
   }
 };
 

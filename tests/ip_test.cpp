@@ -135,11 +135,10 @@ TEST_F(IpLineTest, MissingFragmentTimesOutAllOrNothing) {
   build(/*middle_mtu=*/500);
   // Drop one fragment on the middle link.
   int count = 0;
-  r1->port(2).drop_filter = [&](const net::Packet& p) {
+  r1->port(2).fault_hook = net::drop_when([&](const net::Packet& p) {
     // RIP updates also use this port; drop only big data fragments.
-    if (p.size() > 400 && ++count == 2) return true;
-    return false;
-  };
+    return p.size() > 400 && ++count == 2;
+  });
   a->send(kB, kProtoVmtp, pattern_bytes(1200));
   sim.run_until(sim::kSecond);
   EXPECT_EQ(b->stats().delivered, 0u);
@@ -226,11 +225,11 @@ TEST(IpReassemblyOverflow, BoundedBuffersFailSystematically) {
   r.add_connected(2, 2);
   // Hold every datagram incomplete by dropping its final fragment, so the
   // 2-buffer reassembly table overruns — the paper's systematic failure.
-  r.port(2).drop_filter = [](const net::Packet& p) {
+  r.port(2).fault_hook = net::drop_when([](const net::Packet& p) {
     const auto view = decode_ip_packet(p.bytes);
     return view.has_value() && !view->header.more_fragments() &&
            view->header.frag_offset_bytes() > 0;
-  };
+  });
   for (int i = 0; i < 6; ++i) {
     a.send(2, kProtoVmtp, test::pattern_bytes(900));
   }

@@ -192,20 +192,48 @@ TEST_F(NetFixture, EarliestStartHonored) {
   EXPECT_EQ(b.arrivals[0].head, 7 * sim::kMicrosecond);
 }
 
-TEST_F(NetFixture, DropFilterInjectsLoss) {
+TEST_F(NetFixture, FaultHookInjectsLoss) {
   auto& a = net.add<SinkNode>("a");
   auto& b = net.add<SinkNode>("b");
   const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
   int count = 0;
-  a.port(pa).drop_filter = [&count](const Packet&) {
-    return ++count % 2 == 0;
-  };
+  a.port(pa).fault_hook =
+      drop_when([&count](const Packet&) { return ++count % 2 == 0; });
   for (int i = 0; i < 4; ++i) {
     a.port(pa).enqueue(make_packet(100), TxMeta{}, 0);
   }
   sim.run();
   EXPECT_EQ(b.arrivals.size(), 2u);
   EXPECT_EQ(a.port(pa).stats().dropped_injected, 2u);
+}
+
+TEST_F(NetFixture, FaultHookMayMutateAndDelay) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  a.port(pa).fault_hook = [](PacketPtr& packet, TxMeta&,
+                             sim::Time& earliest_start) {
+    packet->bytes[0] ^= 0xFF;                  // corrupt in place
+    earliest_start = 5 * sim::kMicrosecond;    // and add delay
+    return FaultVerdict::kPass;
+  };
+  a.port(pa).enqueue(make_packet(100), TxMeta{}, 0);
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].packet->bytes[0], 0x77 ^ 0xFF);
+  EXPECT_EQ(b.arrivals[0].head, 5 * sim::kMicrosecond);
+}
+
+TEST_F(NetFixture, EnqueueUnfilteredBypassesFaultHook) {
+  auto& a = net.add<SinkNode>("a");
+  auto& b = net.add<SinkNode>("b");
+  const auto [pa, _] = net.duplex(a, b, LinkConfig{1e9, 0, 1500});
+  a.port(pa).fault_hook = drop_when([](const Packet&) { return true; });
+  a.port(pa).enqueue(make_packet(100), TxMeta{}, 0);
+  a.port(pa).enqueue_unfiltered(make_packet(100), TxMeta{}, 0);
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(a.port(pa).stats().dropped_injected, 1u);
 }
 
 TEST_F(NetFixture, BusyTimeAccounting) {

@@ -8,12 +8,15 @@
 //    transport checksum, and every loss is visible in a counter.
 //  * Route reversal round trips across random chains with random
 //    priorities and payloads.
+//  * Fault-lane composition: (corrupt ∘ duplicate ∘ reorder) may damage,
+//    repeat or delay packets but never invents bytes from thin air.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <optional>
 
 #include "directory/fabric.hpp"
+#include "fault/engine.hpp"
 #include "sim/random.hpp"
 #include "test_util.hpp"
 #include "transport/header.hpp"
@@ -24,51 +27,7 @@ namespace {
 using test::local_segment;
 using test::p2p_segment;
 using test::pattern_bytes;
-
-/// Builds a random connected internetwork: a router spanning tree plus
-/// extra chords, with one host per router.
-struct RandomNet {
-  sim::Simulator sim;
-  dir::Fabric fabric{sim};
-  std::vector<viper::ViperRouter*> routers;
-  std::vector<viper::ViperHost*> hosts;
-
-  RandomNet(std::uint64_t seed, int n_routers) {
-    sim::Rng rng(seed);
-    for (int i = 0; i < n_routers; ++i) {
-      routers.push_back(&fabric.add_router("r" + std::to_string(i)));
-      if (i > 0) {
-        // Spanning tree: attach to a random earlier router.
-        const auto parent = rng.uniform_int(0, static_cast<std::uint64_t>(
-                                                   i - 1));
-        dir::LinkParams params;
-        params.prop_delay =
-            static_cast<sim::Time>(rng.uniform_int(1, 50)) *
-            sim::kMicrosecond;
-        fabric.connect(*routers[static_cast<std::size_t>(parent)],
-                       *routers[static_cast<std::size_t>(i)], params);
-      }
-    }
-    // A few chords for path diversity.
-    const int chords = n_routers / 2;
-    for (int c = 0; c < chords; ++c) {
-      const auto a = rng.uniform_int(0, static_cast<std::uint64_t>(
-                                            n_routers - 1));
-      const auto b = rng.uniform_int(0, static_cast<std::uint64_t>(
-                                            n_routers - 1));
-      if (a == b) continue;
-      dir::LinkParams params;
-      params.prop_delay = static_cast<sim::Time>(rng.uniform_int(1, 50)) *
-                          sim::kMicrosecond;
-      fabric.connect(*routers[a], *routers[b], params);
-    }
-    for (int i = 0; i < n_routers; ++i) {
-      auto& h = fabric.add_host("h" + std::to_string(i) + ".prop");
-      fabric.connect(h, *routers[static_cast<std::size_t>(i)]);
-      hosts.push_back(&h);
-    }
-  }
-};
+using test::RandomNet;
 
 class RandomTopologyProperty
     : public ::testing::TestWithParam<std::uint64_t> {};
@@ -227,21 +186,10 @@ TEST_P(ChainReversalProperty, ReplyAlwaysReturnsAcrossNHops) {
   const int hops = GetParam();
   sim::Simulator sim;
   dir::Fabric fabric(sim);
-  auto& src = fabric.add_host("src.chain");
-  net::PortedNode* prev = &src;
-  std::vector<viper::ViperRouter*> routers;
-  for (int i = 0; i < hops; ++i) {
-    auto& r = fabric.add_router("r" + std::to_string(i));
-    fabric.connect(*prev, r);
-    routers.push_back(&r);
-    prev = &r;
-  }
-  auto& dst = fabric.add_host("dst.chain");
-  fabric.connect(*prev, dst);
-
-  core::SourceRoute route;
-  for (int i = 0; i < hops; ++i) route.segments.push_back(p2p_segment(2));
-  route.segments.push_back(local_segment());
+  test::Line line = test::build_line(fabric, hops, "src.chain", "dst.chain");
+  viper::ViperHost& src = *line.src;
+  viper::ViperHost& dst = *line.dst;
+  const core::SourceRoute route = test::line_route(hops);
 
   std::optional<viper::Delivery> there, back;
   dst.set_default_handler([&](const viper::Delivery& d) { there = d; });
@@ -261,6 +209,80 @@ TEST_P(ChainReversalProperty, ReplyAlwaysReturnsAcrossNHops) {
 
 INSTANTIATE_TEST_SUITE_P(Hops, ChainReversalProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 47));
+
+class FaultCompositionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultCompositionProperty, LanesNeverCreateBytesFromThinAir) {
+  // The composed perturbation (corrupt ∘ duplicate ∘ reorder ∘ jitter) is
+  // conservative at the link layer: every delivered packet descends from
+  // an injected one (same id, same length), ids are repeated at most once
+  // per counted duplication, and with no drop lane nothing vanishes.
+  const std::uint64_t seed = GetParam();
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::PacketFactory packets;
+  auto& a = net.add<test::SinkNode>("a");
+  auto& b = net.add<test::SinkNode>("b");
+  const auto [pa, pb] =
+      net.duplex(a, b, net::LinkConfig{1e9, 5 * sim::kMicrosecond, 1500});
+  (void)pb;
+
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  fault::LaneConfig& lane = plan.lane(a.port(pa).name());
+  lane.corrupt_rate = 0.3;
+  lane.duplicate_rate = 0.3;
+  lane.reorder_rate = 0.3;
+  lane.jitter_rate = 0.3;
+  stats::Registry registry;
+  fault::FaultEngine engine(sim, plan, registry);
+  engine.attach(a.port(pa));
+
+  // Inject packets whose id -> size map is the ground truth.
+  std::map<std::uint64_t, std::size_t> injected;
+  sim::Rng rng(seed * 977 + 5);
+  const int kPackets = 200;
+  for (int i = 0; i < kPackets; ++i) {
+    const std::size_t size = 40 + rng.uniform_int(0, 1200);
+    auto packet = packets.make(pattern_bytes(size, std::uint8_t(i)),
+                               sim.now());
+    injected[packet->id] = size;
+    sim.at(static_cast<sim::Time>(i) * 2 * sim::kMicrosecond,
+           [&a, pa, p = std::move(packet)]() mutable {
+             a.port(pa).enqueue(std::move(p), net::TxMeta{}, 0);
+           });
+  }
+  sim.run();
+
+  const std::string target = a.port(pa).name();
+  std::map<std::uint64_t, int> seen;
+  for (const net::Arrival& arrival : b.arrivals) {
+    auto it = injected.find(arrival.packet->id);
+    ASSERT_NE(it, injected.end())
+        << "seed " << seed << ": delivered id " << arrival.packet->id
+        << " was never injected";
+    EXPECT_EQ(arrival.packet->size(), it->second)
+        << "seed " << seed << ": fault lanes changed a packet's length";
+    ++seen[arrival.packet->id];
+  }
+  // No drop/flap lane: everything injected arrives, plus exactly the
+  // counted duplicates — conservation in both directions.
+  EXPECT_EQ(b.arrivals.size(),
+            kPackets + engine.count(target, "duplicate"));
+  std::uint64_t repeats = 0;
+  for (const auto& [id, n] : seen) {
+    repeats += static_cast<std::uint64_t>(n - 1);
+  }
+  EXPECT_EQ(repeats, engine.count(target, "duplicate"));
+  // The lanes demonstrably fired under these rates.
+  EXPECT_GT(engine.count(target, "corrupt"), 0u);
+  EXPECT_GT(engine.count(target, "duplicate"), 0u);
+  EXPECT_GT(engine.count(target, "reorder"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultCompositionProperty,
+                         ::testing::Range<std::uint64_t>(700, 712));
 
 }  // namespace
 }  // namespace srp

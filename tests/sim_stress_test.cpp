@@ -9,6 +9,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "test_util.hpp"
 
 namespace srp::sim {
 namespace {
@@ -114,7 +115,7 @@ TEST(SimulatorStress, DeterministicReplay) {
     sim.run();
     return log;
   };
-  EXPECT_EQ(run_once(), run_once());
+  test::expect_deterministic(run_once);
 }
 
 }  // namespace

@@ -1,12 +1,18 @@
 // Shared helpers for the Sirpent test suite.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/segment.hpp"
+#include "directory/fabric.hpp"
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "sim/random.hpp"
 #include "viper/router.hpp"
 
 namespace srp::test {
@@ -59,6 +65,133 @@ inline wire::Bytes pattern_bytes(std::size_t n, std::uint8_t seed = 1) {
     out[i] = static_cast<std::uint8_t>(seed + i * 13);
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Topology builders (hoisted from the per-suite fixtures).
+
+/// A src —r0—r1—…—r(n-1)— dst line built through the fabric: the fixture
+/// shape shared by the vmtp, congestion and routing suites.  Each fabric
+/// connect() allocates ports in order, so on every router port 1 faces the
+/// source and port 2 faces the destination.
+struct Line {
+  viper::ViperHost* src = nullptr;
+  std::vector<viper::ViperRouter*> routers;
+  viper::ViperHost* dst = nullptr;
+
+  [[nodiscard]] viper::ViperRouter& router(std::size_t i) {
+    return *routers.at(i);
+  }
+};
+
+/// Builds a Line of @p n_routers.  @p params applies to every link unless
+/// @p per_hop returns an override for hop index i (0 = src—r0 edge).
+inline Line build_line(
+    dir::Fabric& fabric, int n_routers, const std::string& src_name,
+    const std::string& dst_name, dir::LinkParams params = {},
+    const std::function<dir::LinkParams(int)>& per_hop = nullptr) {
+  Line line;
+  line.src = &fabric.add_host(src_name);
+  net::PortedNode* prev = line.src;
+  for (int i = 0; i < n_routers; ++i) {
+    auto& r = fabric.add_router("r" + std::to_string(i + 1));
+    fabric.connect(*prev, r, per_hop ? per_hop(i) : params);
+    line.routers.push_back(&r);
+    prev = &r;
+  }
+  line.dst = &fabric.add_host(dst_name);
+  fabric.connect(*prev, *line.dst,
+                 per_hop ? per_hop(n_routers) : params);
+  return line;
+}
+
+/// The source route along a Line: @p hops forward segments (port 2 leads
+/// onward on every Line router) then local delivery.
+inline core::SourceRoute line_route(int hops, std::uint64_t endpoint = 0,
+                                    std::uint8_t priority = 0) {
+  core::SourceRoute route;
+  for (int i = 0; i < hops; ++i) {
+    route.segments.push_back(p2p_segment(2, priority));
+  }
+  route.segments.push_back(local_segment(endpoint));
+  return route;
+}
+
+/// A random connected internetwork: a router spanning tree plus chords,
+/// one host per router (the property/chaos/soak topology generator).
+struct RandomNet {
+  sim::Simulator sim;
+  dir::Fabric fabric{sim};
+  std::vector<viper::ViperRouter*> routers;
+  std::vector<viper::ViperHost*> hosts;
+
+  RandomNet(std::uint64_t seed, int n_routers) {
+    sim::Rng rng(seed);
+    for (int i = 0; i < n_routers; ++i) {
+      routers.push_back(&fabric.add_router("r" + std::to_string(i)));
+      if (i > 0) {
+        // Spanning tree: attach to a random earlier router.
+        const auto parent =
+            rng.uniform_int(0, static_cast<std::uint64_t>(i - 1));
+        dir::LinkParams params;
+        params.prop_delay =
+            static_cast<sim::Time>(rng.uniform_int(1, 50)) *
+            sim::kMicrosecond;
+        fabric.connect(*routers[static_cast<std::size_t>(parent)],
+                       *routers[static_cast<std::size_t>(i)], params);
+      }
+    }
+    // A few chords for path diversity.
+    const int chords = n_routers / 2;
+    for (int c = 0; c < chords; ++c) {
+      const auto a = rng.uniform_int(
+          0, static_cast<std::uint64_t>(n_routers - 1));
+      const auto b = rng.uniform_int(
+          0, static_cast<std::uint64_t>(n_routers - 1));
+      if (a == b) continue;
+      dir::LinkParams params;
+      params.prop_delay = static_cast<sim::Time>(rng.uniform_int(1, 50)) *
+                          sim::kMicrosecond;
+      fabric.connect(*routers[a], *routers[b], params);
+    }
+    for (int i = 0; i < n_routers; ++i) {
+      auto& h = fabric.add_host("h" + std::to_string(i) + ".prop");
+      fabric.connect(h, *routers[static_cast<std::size_t>(i)]);
+      hosts.push_back(&h);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Event-chain helpers.
+
+/// Drives a self-rescheduling chain: @p step first runs at @p start and
+/// returns the delay until its next run; the chain ends at @p until.  The
+/// chain owns itself through the pending event only (weak self-capture),
+/// so it is reclaimed as soon as it stops — the pump pattern shared by the
+/// congestion/chaos suites and the benches.
+inline void drive(sim::Simulator& sim, sim::Time start, sim::Time until,
+                  std::function<sim::Time()> step) {
+  auto chain = std::make_shared<std::function<void()>>();
+  *chain = [&sim, until, step = std::move(step),
+            weak = std::weak_ptr(chain)] {
+    if (sim.now() >= until) return;
+    const sim::Time delay = step();
+    sim.after(std::max<sim::Time>(delay, 1),
+              [self = weak.lock()] { (*self)(); });
+  };
+  sim.at(start, [chain] { (*chain)(); });
+}
+
+/// Runs @p scenario twice and asserts both runs produce identical results —
+/// the seed-replay (determinism) check shared by the stress/chaos suites.
+/// The scenario must build its entire world (simulator, fabric, RNGs)
+/// internally so nothing leaks between runs.
+template <class Scenario>
+void expect_deterministic(Scenario scenario) {
+  const auto first = scenario();
+  const auto second = scenario();
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace srp::test

@@ -62,22 +62,14 @@ TEST_F(ViperRoutingTest, OneHopDeliveryAndReturnRoute) {
 }
 
 TEST_F(ViperRoutingTest, MultiHopTrailerAccumulates) {
-  auto& a = fabric.add_host("a.test");
-  auto& r1 = fabric.add_router("r1");
-  auto& r2 = fabric.add_router("r2");
-  auto& r3 = fabric.add_router("r3");
-  auto& b = fabric.add_host("b.test");
-  fabric.connect(a, r1);
-  fabric.connect(r1, r2);
-  fabric.connect(r2, r3);
-  fabric.connect(r3, b);
+  test::Line line = test::build_line(fabric, 3, "a.test", "b.test");
+  auto& a = *line.src;
+  auto& b = *line.dst;
 
   std::optional<Delivery> at_b;
   b.set_default_handler([&](const Delivery& d) { at_b = d; });
 
-  core::SourceRoute route;
-  route.segments = {p2p_segment(2), p2p_segment(2), p2p_segment(2),
-                    local_segment()};
+  const core::SourceRoute route = test::line_route(3);
   a.send(route, pattern_bytes(50));
   sim.run();
 

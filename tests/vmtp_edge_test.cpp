@@ -88,9 +88,9 @@ TEST_F(EdgeFixture, ResponseGroupRepairedBySelectiveNack) {
   });
   // Drop the 3rd response packet on its first pass r2 -> r1.
   int big_seen = 0;
-  r2->port(1).drop_filter = [&](const net::Packet& p) {
+  r2->port(1).fault_hook = net::drop_when([&](const net::Packet& p) {
     return p.size() > 500 && ++big_seen == 3;
-  };
+  });
   std::optional<Result> result;
   client->invoke(route, 0x5, pattern_bytes(4),
                  [&](Result r) { result = std::move(r); });

@@ -176,14 +176,14 @@ TEST_F(VmtpFixture, SelectiveRetransmissionRepairsGroup) {
   // Drop exactly two request data packets on their first pass r1 -> r2.
   int dropped = 0;
   int seen = 0;
-  r1->port(2).drop_filter = [&](const net::Packet&) {
+  r1->port(2).fault_hook = net::drop_when([&](const net::Packet&) {
     ++seen;
     if ((seen == 3 || seen == 5) && dropped < 2) {
       ++dropped;
       return true;
     }
     return false;
-  };
+  });
   std::optional<Result> result;
   const wire::Bytes request = pattern_bytes(6000);  // 6 packets
   client->invoke(route, kServerId, request,
@@ -228,13 +228,13 @@ TEST_F(VmtpFixture, DuplicateRequestGetsCachedResponse) {
   // retransmits the request; the server must answer from its served cache
   // without re-invoking the handler.
   int responses_dropped = 0;
-  r2->port(1).drop_filter = [&](const net::Packet&) {
+  r2->port(1).fault_hook = net::drop_when([&](const net::Packet&) {
     if (responses_dropped == 0) {
       ++responses_dropped;
       return true;
     }
     return false;
-  };
+  });
   std::optional<Result> result;
   client->invoke(route, kServerId, pattern_bytes(10),
                  [&](Result r) { result = std::move(r); });
