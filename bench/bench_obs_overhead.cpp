@@ -1,0 +1,109 @@
+// Observability overhead on the TxPort enqueue fast path.
+//
+// The obs layer's cost contract mirrors the fault hook's: with no
+// observer wired the per-packet price is one untaken null-pointer
+// branch, so the instrumented-but-disabled data path must stay within
+// noise of the bare one.  Four configurations of TxPort::enqueue:
+//
+//   no_observer       — nothing wired (the normal data path, baseline),
+//   metrics_only      — a Registry wired: queue-depth gauge set + queue
+//                       wait histogram record per packet,
+//   tracing_untraced  — Registry + FlightRecorder wired but packets
+//                       carry no trace id: metrics plus one branch,
+//   tracing_traced    — every packet traced: metrics plus one SpanRecord
+//                       ring write per transmission.
+//
+// scripts/check_obs_overhead.py gates CI on no_observer staying flat
+// against the pre-obs baseline and tracing_untraced staying within a
+// small multiple of no_observer.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "obs/recorder.hpp"
+#include "stats/registry.hpp"
+
+namespace {
+
+using namespace srp;
+
+/// Discards every arrival.
+class NullNode : public net::PortedNode {
+ public:
+  NullNode(sim::Simulator& sim, std::string name)
+      : net::PortedNode(sim, std::move(name)) {}
+  void on_arrival(const net::Arrival&) override {}
+};
+
+enum class Mode { kNoObserver, kMetricsOnly, kTracingUntraced, kTracingTraced };
+
+void BM_Enqueue(benchmark::State& state, Mode mode) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::PacketFactory packets;
+  auto& a = net.add<NullNode>("a");
+  auto& b = net.add<NullNode>("b");
+  const auto [pa, pb] =
+      net.duplex(a, b, net::LinkConfig{1e12, 0, 1500});
+  (void)pb;
+  net::TxPort& port = a.port(pa);
+
+  stats::Registry registry;
+  obs::FlightRecorder recorder;
+  obs::Observer observer;
+  switch (mode) {
+    case Mode::kNoObserver:
+      break;
+    case Mode::kMetricsOnly:
+      observer.registry = &registry;
+      port.set_observer(observer);
+      break;
+    case Mode::kTracingUntraced:
+    case Mode::kTracingTraced:
+      observer.registry = &registry;
+      observer.recorder = &recorder;
+      port.set_observer(observer);
+      break;
+  }
+  const bool traced = mode == Mode::kTracingTraced;
+
+  const wire::Bytes image(256, 0x42);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    auto packet = packets.make(image, sim.now());
+    if (traced) packet->trace_id = n + 1;
+    port.enqueue(std::move(packet), net::TxMeta{}, 0);
+    if (++n % 512 == 0) {
+      // Drain outside the timed region so the queue stays short and the
+      // measurement tracks the enqueue path, not queue growth.
+      state.PauseTiming();
+      sim.run();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+
+void BM_EnqueueNoObserver(benchmark::State& state) {
+  BM_Enqueue(state, Mode::kNoObserver);
+}
+void BM_EnqueueMetricsOnly(benchmark::State& state) {
+  BM_Enqueue(state, Mode::kMetricsOnly);
+}
+void BM_EnqueueTracingUntraced(benchmark::State& state) {
+  BM_Enqueue(state, Mode::kTracingUntraced);
+}
+void BM_EnqueueTracingTraced(benchmark::State& state) {
+  BM_Enqueue(state, Mode::kTracingTraced);
+}
+
+BENCHMARK(BM_EnqueueNoObserver);
+BENCHMARK(BM_EnqueueMetricsOnly);
+BENCHMARK(BM_EnqueueTracingUntraced);
+BENCHMARK(BM_EnqueueTracingTraced);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Gate on the observability layer's disabled-path cost contract.
+
+Reads bench_obs_overhead JSON output (--benchmark_format=json) and fails
+if the instrumented-but-disabled enqueue path drifts beyond the pinned
+bound relative to the no-observer baseline:
+
+  tracing_untraced / no_observer  <= BOUND   (default 1.25)
+
+The bound is deliberately loose — CI machines are noisy — but it still
+catches the failure mode the contract forbids: accidental per-packet
+work (allocation, locking, formatting) appearing on the disabled path.
+
+Usage: check_obs_overhead.py results.json [--bound 1.25]
+"""
+
+import argparse
+import json
+import sys
+
+BASELINE = "BM_EnqueueNoObserver"
+DISABLED = "BM_EnqueueTracingUntraced"
+
+
+def cpu_time(benchmarks, name):
+    for bench in benchmarks:
+        if bench["name"] == name:
+            return float(bench["cpu_time"])
+    sys.exit(f"error: benchmark {name!r} missing from results")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="bench_obs_overhead JSON output")
+    parser.add_argument("--bound", type=float, default=1.25,
+                        help="max disabled-path / baseline ratio")
+    args = parser.parse_args()
+
+    with open(args.results, encoding="utf-8") as handle:
+        benchmarks = json.load(handle)["benchmarks"]
+
+    base = cpu_time(benchmarks, BASELINE)
+    disabled = cpu_time(benchmarks, DISABLED)
+    ratio = disabled / base
+    print(f"{BASELINE}: {base:.1f} ns")
+    print(f"{DISABLED}: {disabled:.1f} ns")
+    print(f"ratio: {ratio:.3f} (bound {args.bound})")
+    if ratio > args.bound:
+        sys.exit("FAIL: disabled-path observability overhead exceeds bound")
+    print("OK: disabled-path overhead within bound")
+
+
+if __name__ == "__main__":
+    main()

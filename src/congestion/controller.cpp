@@ -37,6 +37,25 @@ void CongestionController::set_neighbor(int port_index,
   neighbors_[port_index] = neighbor_router_id;
 }
 
+void CongestionController::set_observer(const obs::Observer& observer) {
+  if (observer.registry != nullptr) {
+    const auto instance = stats::metric_component(router_.name());
+    obs_flows_ = &observer.registry->gauge("cc." + instance + ".flows");
+    obs_reports_sent_ =
+        &observer.registry->counter("cc." + instance + ".reports_sent");
+    obs_reports_received_ =
+        &observer.registry->counter("cc." + instance + ".reports_received");
+    obs_shaped_ = &observer.registry->counter("cc." + instance + ".shaped");
+    update_flows_gauge();
+  } else {
+    obs_flows_ = nullptr;
+    obs_reports_sent_ = nullptr;
+    obs_reports_received_ = nullptr;
+    obs_shaped_ = nullptr;
+  }
+  obs_recorder_ = observer.recorder;
+}
+
 double CongestionController::granted_rate(const FlowKey& key) const {
   const auto it = flows_.find(key);
   return it == flows_.end() ? std::numeric_limits<double>::infinity()
@@ -77,6 +96,20 @@ bool CongestionController::shape(int out_port, std::uint8_t next_port,
   }
 
   ++stats_.packets_shaped;
+  if (obs_shaped_ != nullptr) obs_shaped_->add();
+  if (obs_recorder_ != nullptr && packet->trace_id != 0) {
+    // Throttle events render as instants: the shaper held this packet.
+    obs::SpanRecord span;
+    span.trace_id = packet->trace_id;
+    span.hop = packet->hops;
+    span.kind = obs::SpanKind::kThrottle;
+    span.out_port = static_cast<std::uint16_t>(out_port);
+    span.start = sim_.now();
+    span.decision = sim_.now();
+    span.end = sim_.now();
+    span.set_component(router_.name());
+    obs_recorder_->record(span);
+  }
   flow.held_bytes += packet->size();
   flow.held.push_back(Held{std::move(packet), meta, out_port, earliest});
   flow.out_port = out_port;
@@ -142,11 +175,13 @@ void CongestionController::on_control(const core::HeaderSegment&,
   const auto report = decode_rate_report(payload);
   if (!report.has_value()) return;
   ++stats_.reports_received;
+  if (obs_reports_received_ != nullptr) obs_reports_received_->add();
   const FlowKey key{report->router_id, report->port};
   auto [it, inserted] = flows_.try_emplace(key);
   FlowState& flow = it->second;
   if (inserted) {
     ++stats_.flows_created;
+    update_flows_gauge();
     flow.last_refill = sim_.now();
   } else {
     refill(flow);
@@ -180,6 +215,7 @@ void CongestionController::report_port_congestion(int port_index) {
       for (int feeder : monitor.last_feeders) {
         router_.send_control(feeder, payload);
         ++stats_.reports_sent;
+        if (obs_reports_sent_ != nullptr) obs_reports_sent_->add();
       }
     }
     return;
@@ -205,6 +241,7 @@ void CongestionController::report_port_congestion(int port_index) {
   for (int feeder : feeders) {
     router_.send_control(feeder, payload);
     ++stats_.reports_sent;
+    if (obs_reports_sent_ != nullptr) obs_reports_sent_->add();
   }
 }
 
@@ -228,6 +265,7 @@ void CongestionController::report_backlog(const FlowKey& key,
   for (int feeder : feeders) {
     router_.send_control(feeder, payload);
     ++stats_.reports_sent;
+    if (obs_reports_sent_ != nullptr) obs_reports_sent_->add();
   }
 }
 
@@ -259,6 +297,7 @@ void CongestionController::tick() {
     if (erase) {
       flush(flow);
       it = flows_.erase(it);
+      update_flows_gauge();
     } else {
       ++it;
     }

@@ -75,6 +75,12 @@ class CongestionController {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Wires the controller to an observability sink: a `cc.<router>.flows`
+  /// gauge (throttle-table size), `cc.<router>.reports_*` / `.shaped`
+  /// counters, and — with a recorder — a kThrottle instant span whenever a
+  /// traced packet is held by the shaper.
+  void set_observer(const obs::Observer& observer);
+
   /// Currently granted rate toward @p key; +inf when unlimited.
   [[nodiscard]] double granted_rate(const FlowKey& key) const;
 
@@ -128,6 +134,19 @@ class CongestionController {
   std::map<int, std::uint32_t> neighbors_;  // out port -> router id
   std::map<FlowKey, FlowState> flows_;
   Stats stats_;
+
+  // Observability handles, resolved once by set_observer(); null = off.
+  stats::Gauge* obs_flows_ = nullptr;
+  stats::Counter* obs_reports_sent_ = nullptr;
+  stats::Counter* obs_reports_received_ = nullptr;
+  stats::Counter* obs_shaped_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
+
+  void update_flows_gauge() {
+    if (obs_flows_ != nullptr) {
+      obs_flows_->set(static_cast<std::int64_t>(flows_.size()));
+    }
+  }
 };
 
 }  // namespace srp::cc

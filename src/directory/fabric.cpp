@@ -175,6 +175,12 @@ void Fabric::enable_load_reporting(sim::Time interval) {
   sim_.after(interval, [tick] { (*tick)(); });
 }
 
+void Fabric::enable_observability(const obs::Observer& observer) {
+  for (viper::ViperRouter* router : routers_) router->set_observer(observer);
+  for (viper::ViperHost* host : hosts_) host->set_observer(observer);
+  for (auto& controller : controllers_) controller->set_observer(observer);
+}
+
 std::uint32_t Fabric::id_of(const net::Node& node) const {
   const auto it = ids_.find(&node);
   if (it == ids_.end()) {

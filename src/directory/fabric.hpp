@@ -80,6 +80,11 @@ class Fabric {
   /// feeding the load-aware route metric.
   void enable_load_reporting(sim::Time interval = 10 * sim::kMillisecond);
 
+  /// Wires every router, host and congestion controller built so far to
+  /// @p observer (metrics, tracing, or both).  Call after the topology is
+  /// complete — components added later are not wired retroactively.
+  void enable_observability(const obs::Observer& observer);
+
   // --- failure injection (simulation + directory advisories together) ---
   void fail_link(net::PortedNode& a, net::PortedNode& b);
   void restore_link(net::PortedNode& a, net::PortedNode& b);

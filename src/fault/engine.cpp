@@ -33,6 +33,7 @@ net::PacketPtr clone_packet(const net::Packet& packet) {
   copy->last_in_port = packet.last_in_port;
   copy->feedforward = packet.feedforward;
   copy->recirculations = packet.recirculations;
+  copy->trace_id = packet.trace_id;
   copy->parent = packet.parent;
   return copy;
 }
@@ -61,7 +62,9 @@ void FaultEngine::attach(net::TxPort& port) {
 
   ports_.emplace_back(&port, lane, stream_for(port.name()));
   PortState& state = ports_.back();
-  const std::string& name = port.name();
+  // Port names contain ':' (e.g. "r1:p2"), which the metric-naming
+  // convention forbids; sanitize the instance segment.
+  const std::string name = stats::metric_component(port.name());
   state.dropped = &registry_.counter("fault." + name + ".drop");
   state.corrupted = &registry_.counter("fault." + name + ".corrupt");
   state.duplicated = &registry_.counter("fault." + name + ".duplicate");
@@ -193,7 +196,8 @@ void FaultEngine::schedule_flap(net::TxPort& port, sim::Time down_at,
                                 sim::Time down_for) {
   SIRPENT_EXPECTS(down_for > 0);
   stats::Counter& counter =
-      registry_.counter("fault." + port.name() + ".flap");
+      registry_.counter("fault." + stats::metric_component(port.name()) +
+                        ".flap");
   sim_.at(down_at, [this, &port, &counter, down_for] {
     counter.add();
     note(port.name(), "flap", static_cast<std::uint64_t>(down_for));
@@ -206,7 +210,8 @@ void FaultEngine::attach_token_cache(const std::string& name,
                                      tokens::TokenCache& cache) {
   if (plan_.token_poisons_per_second <= 0) return;
   stats::Counter& counter =
-      registry_.counter("fault." + name + ".token_poison");
+      registry_.counter("fault." + stats::metric_component(name) +
+                        ".token_poison");
   schedule_next_poison(name, cache, stream_for(name + "/tokens"), counter);
 }
 
@@ -229,7 +234,9 @@ void FaultEngine::schedule_next_poison(const std::string& name,
 
 std::uint64_t FaultEngine::count(const std::string& target,
                                  const std::string& lane) const {
-  return registry_.counter("fault." + target + "." + lane).value();
+  return registry_
+      .counter("fault." + stats::metric_component(target) + "." + lane)
+      .value();
 }
 
 }  // namespace srp::fault

@@ -37,6 +37,8 @@ struct Packet : std::enable_shared_from_this<Packet> {
                                   ///  models a small network-layer field
   std::uint8_t recirculations = 0;  ///< delay-line loops taken so far
                                     ///  (Blazenet-style deferral, §2.1)
+  std::uint64_t trace_id = 0;  ///< nonzero = per-hop tracing requested;
+                               ///  spans land in the obs::FlightRecorder
 
   /// Upstream image this packet was derived from.  With cut-through a
   /// router forwards the head of a packet whose tail is still in flight
@@ -66,6 +68,7 @@ struct Packet : std::enable_shared_from_this<Packet> {
     p->created = created;
     p->flow = flow;
     p->hops = hops + 1;
+    p->trace_id = trace_id;
     p->parent = shared_from_this();
     return p;
   }

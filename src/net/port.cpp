@@ -23,8 +23,25 @@ void TxPort::connect(Node* peer, int peer_in_port) {
 
 void TxPort::set_buffer_limit(std::size_t bytes) { buffer_limit_ = bytes; }
 
+void TxPort::set_observer(const obs::Observer& observer) {
+  if (observer.registry != nullptr) {
+    const auto instance = stats::metric_component(name_);
+    obs_queue_depth_ =
+        &observer.registry->gauge("port." + instance + ".queue_depth");
+    obs_queue_wait_ =
+        &observer.registry->histogram("port." + instance + ".queue_wait_ps");
+  } else {
+    obs_queue_depth_ = nullptr;
+    obs_queue_wait_ = nullptr;
+  }
+  obs_recorder_ = observer.recorder;
+}
+
 void TxPort::notify_queue_change() {
   if (on_queue_change) on_queue_change(sim_.now(), queue_.size());
+  if (obs_queue_depth_ != nullptr) {
+    obs_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+  }
 }
 
 void TxPort::enqueue(PacketPtr packet, TxMeta meta, sim::Time earliest_start) {
@@ -129,6 +146,24 @@ void TxPort::start_transmission(Queued item, sim::Time start) {
 
   completion_event_ =
       sim_.at(current_end_, [this] { complete_transmission(); });
+
+  const sim::Time queue_wait = start - current_.enqueue_time;
+  if (obs_queue_wait_ != nullptr) {
+    obs_queue_wait_->record(static_cast<std::uint64_t>(queue_wait));
+  }
+  if (obs_recorder_ != nullptr && current_.packet->trace_id != 0) {
+    obs::SpanRecord span;
+    span.trace_id = current_.packet->trace_id;
+    span.hop = current_.packet->hops;
+    span.kind = obs::SpanKind::kTx;
+    span.out_port = static_cast<std::uint16_t>(peer_in_port_);
+    span.start = current_.enqueue_time;
+    span.decision = start;
+    span.end = current_end_;
+    span.queue_delay = queue_wait;
+    span.set_component(name_);
+    obs_recorder_->record(span);
+  }
 
   if (peer_ != nullptr) {
     const sim::Time head = start + config_.prop_delay;

@@ -15,8 +15,10 @@
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "stats/registry.hpp"
 
 namespace srp::net {
 
@@ -136,6 +138,13 @@ class TxPort {
     return sim::byte_time(bytes, config_.rate_bps);
   }
 
+  /// Wires this port to an observability sink: a `port.<name>.queue_depth`
+  /// gauge and a `port.<name>.queue_wait_ps` histogram in the registry,
+  /// plus a kTx span per traced-packet transmission in the recorder.  The
+  /// metric handles are resolved once here; with no observer every data
+  /// path pays exactly one untaken branch.
+  void set_observer(const obs::Observer& observer);
+
  private:
   void try_start(sim::Time not_before);
   void start_transmission(Queued item, sim::Time start);
@@ -154,6 +163,11 @@ class TxPort {
   std::deque<Queued> queue_;
   std::size_t queue_bytes_ = 0;
   std::size_t buffer_limit_ = std::numeric_limits<std::size_t>::max();
+
+  // Observability handles, resolved once by set_observer(); null = off.
+  stats::Gauge* obs_queue_depth_ = nullptr;
+  stats::Histogram* obs_queue_wait_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 
   bool transmitting_ = false;
   Queued current_;

@@ -1,0 +1,30 @@
+// Exporters for metrics snapshots and flight-recorder spans.
+//
+// Three text formats, all deterministic for a given input (maps are
+// name-sorted, floats printed with fixed precision) so golden-output
+// tests can freeze them:
+//
+//   to_prometheus  Prometheus text exposition (dots become underscores;
+//                  histograms emit cumulative le-buckets + _sum/_count),
+//   to_json        one JSON object {counters, gauges, histograms} with
+//                  derived mean/p50/p99 per histogram,
+//   to_chrome_trace  Chrome trace-event JSON (ph:"X" complete events,
+//                  microsecond timestamps) loadable in Perfetto or
+//                  chrome://tracing; one track (tid) per trace id.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "stats/registry.hpp"
+
+namespace srp::obs {
+
+[[nodiscard]] std::string to_prometheus(const stats::MetricsSnapshot& snap);
+
+[[nodiscard]] std::string to_json(const stats::MetricsSnapshot& snap);
+
+[[nodiscard]] std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+}  // namespace srp::obs

@@ -1,10 +1,25 @@
 #include "sim/trace.hpp"
 
+#include "check/contract.hpp"
+
 namespace srp::sim {
+
+void Trace::set_limit(std::size_t limit) {
+  SIRPENT_EXPECTS(limit >= 1);
+  limit_ = limit;
+  while (records_.size() > limit_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+}
 
 void Trace::emit(Time when, std::string_view component,
                  std::string_view message) {
   if (!enabled_) return;
+  if (records_.size() >= limit_) {
+    records_.pop_front();
+    ++dropped_;
+  }
   records_.push_back(
       TraceRecord{when, std::string(component), std::string(message)});
 }

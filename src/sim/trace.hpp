@@ -2,10 +2,10 @@
 // event orderings in tests.
 #pragma once
 
-#include <functional>
+#include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "sim/time.hpp"
 
@@ -20,24 +20,40 @@ struct TraceRecord {
 
 /// Collects trace records; disabled by default so the hot path costs one
 /// branch.  Tests enable it and assert on the captured sequence.
+///
+/// Retention is bounded: once the record count reaches the configured
+/// limit (set_limit, default 64Ki) the oldest record is evicted for each
+/// new one and dropped() counts the evictions, so soak runs can leave
+/// tracing on indefinitely without unbounded growth.
 class Trace {
  public:
+  static constexpr std::size_t kDefaultLimit = std::size_t{1} << 16;
+
   void enable(bool on = true) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Caps retained records at @p limit (>= 1); excess oldest records are
+  /// evicted immediately.
+  void set_limit(std::size_t limit);
+  [[nodiscard]] std::size_t limit() const { return limit_; }
+
   void emit(Time when, std::string_view component, std::string_view message);
 
-  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+  [[nodiscard]] const std::deque<TraceRecord>& records() const {
     return records_;
   }
+  /// Records evicted to honor the ring limit (not reset by clear()).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   void clear() { records_.clear(); }
 
-  /// Number of records whose message contains @p needle.
+  /// Number of retained records whose message contains @p needle.
   [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
 
  private:
   bool enabled_ = false;
-  std::vector<TraceRecord> records_;
+  std::size_t limit_ = kDefaultLimit;
+  std::uint64_t dropped_ = 0;
+  std::deque<TraceRecord> records_;
 };
 
 }  // namespace srp::sim

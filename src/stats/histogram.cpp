@@ -7,15 +7,15 @@
 
 namespace srp::stats {
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0) {
   if (!(hi > lo) || bins == 0) {
-    throw std::invalid_argument("Histogram: invalid range or bin count");
+    throw std::invalid_argument("LinearHistogram: invalid range or bin count");
   }
 }
 
-void Histogram::add(double x, std::uint64_t weight) {
+void LinearHistogram::add(double x, std::uint64_t weight) {
   total_ += weight;
   if (x < lo_) {
     underflow_ += weight;
@@ -30,11 +30,11 @@ void Histogram::add(double x, std::uint64_t weight) {
   counts_[i] += weight;
 }
 
-double Histogram::bin_low(std::size_t i) const {
+double LinearHistogram::bin_low(std::size_t i) const {
   return lo_ + static_cast<double>(i) * bin_width_;
 }
 
-double Histogram::cdf(double x) const {
+double LinearHistogram::cdf(double x) const {
   if (total_ == 0) return 0.0;
   std::uint64_t acc = underflow_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
@@ -44,7 +44,7 @@ double Histogram::cdf(double x) const {
   return static_cast<double>(acc) / static_cast<double>(total_);
 }
 
-std::string Histogram::render(std::size_t width) const {
+std::string LinearHistogram::render(std::size_t width) const {
   std::uint64_t peak = 1;
   for (auto c : counts_) peak = std::max(peak, c);
   std::ostringstream out;

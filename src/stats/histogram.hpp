@@ -9,9 +9,9 @@ namespace srp::stats {
 
 /// Linear-bin histogram over [lo, hi); samples outside the range land in
 /// saturating under/overflow bins.
-class Histogram {
+class LinearHistogram {
  public:
-  Histogram(double lo, double hi, std::size_t bins);
+  LinearHistogram(double lo, double hi, std::size_t bins);
 
   void add(double x, std::uint64_t weight = 1);
 

@@ -1,12 +1,98 @@
 #include "stats/registry.hpp"
 
+#include <cmath>
+
+#include "check/contract.hpp"
+
 namespace srp::stats {
+namespace {
+
+bool is_segment_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>>& map,
+                  const std::string& name) {
+  auto& slot = map[name];
+  if (slot == nullptr) slot = std::make_unique<T>();
+  return *slot;
+}
+
+}  // namespace
+
+bool is_valid_metric_name(std::string_view name) {
+  constexpr int kMinSegments = 2;
+  constexpr int kMaxSegments = 5;
+  int segments = 0;
+  std::size_t seg_len = 0;
+  for (char c : name) {
+    if (c == '.') {
+      if (seg_len == 0) return false;  // leading dot or empty segment
+      ++segments;
+      seg_len = 0;
+    } else if (is_segment_char(c)) {
+      ++seg_len;
+    } else {
+      return false;
+    }
+  }
+  if (seg_len == 0) return false;  // empty name or trailing dot
+  ++segments;
+  return segments >= kMinSegments && segments <= kMaxSegments;
+}
+
+std::string metric_component(std::string_view raw) {
+  if (raw.empty()) return "_";
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) out.push_back(is_segment_char(c) ? c : '_');
+  return out;
+}
+
+std::uint64_t HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return Histogram::bucket_high(i);
+  }
+  return Histogram::bucket_high(kBuckets - 1);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
 
 Counter& Registry::counter(const std::string& name) {
+  SIRPENT_EXPECTS(is_valid_metric_name(name));
   MutexLock lock(mutex_);
-  auto& slot = counters_[name];
-  if (slot == nullptr) slot = std::make_unique<Counter>();
-  return *slot;
+  return find_or_create(counters_, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  SIRPENT_EXPECTS(is_valid_metric_name(name));
+  MutexLock lock(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  SIRPENT_EXPECTS(is_valid_metric_name(name));
+  MutexLock lock(mutex_);
+  return find_or_create(histograms_, name);
 }
 
 std::map<std::string, std::uint64_t> Registry::snapshot() const {
@@ -14,6 +100,21 @@ std::map<std::string, std::uint64_t> Registry::snapshot() const {
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, counter] : counters_) {
     out.emplace(name, counter->value());
+  }
+  return out;
+}
+
+MetricsSnapshot Registry::full_snapshot() const {
+  MetricsSnapshot out;
+  MutexLock lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace(name, histogram->snapshot());
   }
   return out;
 }

@@ -1,23 +1,49 @@
-// Named-counter registry safe to write from worker threads.
+// Named-metric registry safe to write from worker threads.
 //
 // The single-threaded harnesses read component stats structs directly;
 // once work fans across the exec::WorkerPool those structs cannot be
 // bumped from workers without racing.  Components that run on the pool
-// count through here instead: counters are lock-free atomics, and only
-// the name -> counter map is guarded.  Counter references are stable for
-// the registry's lifetime (std::map node stability), so the hot path is a
-// single relaxed fetch_add with no lock.
+// count through here instead.  Three metric kinds share one contract:
+//
+//   Counter    monotonically increasing event count,
+//   Gauge      instantaneous level (queue depth, cache occupancy),
+//   Histogram  fixed log2-bucket distribution (latencies, sizes).
+//
+// Creation/lookup takes the name-map lock once; the returned reference is
+// stable for the registry's lifetime (std::map node stability) and may be
+// cached, so every hot-path update is a handful of relaxed atomics with no
+// lock.  Snapshots are consistent at batch boundaries (the sim thread
+// between events, or after WorkerPool::wait_idle), which is when the
+// harnesses and exporters read them.
+//
+// Naming convention: `component.instance.metric` — 2 to 5 non-empty
+// segments of [A-Za-z0-9_-] joined by single dots, nothing else.  The
+// accessors enforce it with a debug-build contract; metric_component()
+// sanitizes free-form instance names (port names contain ':', host names
+// may contain '.').
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "check/sync.hpp"
 
 namespace srp::stats {
+
+/// True if @p name follows the `component.instance.metric` convention
+/// (2–5 dot-separated segments of [A-Za-z0-9_-]).
+[[nodiscard]] bool is_valid_metric_name(std::string_view name);
+
+/// Sanitizes one free-form name into a legal metric segment: every
+/// character outside [A-Za-z0-9_-] becomes '_' ("h0.prop:p1" ->
+/// "h0_prop_p1"); an empty input becomes "_".
+[[nodiscard]] std::string metric_component(std::string_view raw);
 
 /// One monotonically increasing counter.  Relaxed ordering: totals are
 /// read at batch boundaries (after WorkerPool::wait_idle), which already
@@ -33,6 +59,97 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// An instantaneous level that can move both ways (queue depth, token-cache
+/// occupancy, throttle-table size).  Same relaxed-at-batch-boundary
+/// contract as Counter.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d = 1) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d = 1) { value_.fetch_sub(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time copy of one Histogram, with the percentile math.  Bucket i
+/// covers [Histogram::bucket_low(i), Histogram::bucket_high(i)]; percentile
+/// estimates report the upper bound of the bucket holding the ranked
+/// sample, so they are exact to within one power of two — the right
+/// resolution for latency regressions, which move in octaves, not percent.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 65;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket containing the ceil(q * count)-th smallest
+  /// sample (q in [0, 1]); 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double q) const;
+  [[nodiscard]] std::uint64_t p50() const { return percentile(0.50); }
+  [[nodiscard]] std::uint64_t p99() const { return percentile(0.99); }
+};
+
+/// Lock-free fixed log2-bucket histogram.  record() is two relaxed
+/// fetch_adds — safe from any thread, cheap enough for per-packet latency
+/// samples.  Bucket 0 holds the value 0; bucket i (1..64) holds values
+/// whose bit width is i, i.e. [2^(i-1), 2^i - 1].  Values are unit-free;
+/// by convention the metric name carries the unit suffix (e.g. "_ps").
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  [[nodiscard]] static std::uint64_t bucket_low(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  [[nodiscard]] static std::uint64_t bucket_high(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void record(std::uint64_t value) {
+    counts_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t p50() const { return snapshot().p50(); }
+  [[nodiscard]] std::uint64_t p99() const { return snapshot().p99(); }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Every metric of one registry, copied at a batch boundary.  The maps are
+/// name-sorted, so exporters iterating them emit deterministic output.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 class Registry {
  public:
   Registry() = default;
@@ -41,12 +158,23 @@ class Registry {
 
   /// The counter named @p name, created on first use.  The returned
   /// reference stays valid for the registry's lifetime and may be cached
-  /// and bumped from any thread.
+  /// and bumped from any thread.  @p name must satisfy
+  /// is_valid_metric_name() (contract-checked in debug builds).
   Counter& counter(const std::string& name) SRP_EXCLUDES(mutex_);
+
+  /// The gauge named @p name; same lifetime and naming contract.
+  Gauge& gauge(const std::string& name) SRP_EXCLUDES(mutex_);
+
+  /// The histogram named @p name; same lifetime and naming contract.
+  Histogram& histogram(const std::string& name) SRP_EXCLUDES(mutex_);
 
   /// Point-in-time copy of every counter value.
   [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const
       SRP_EXCLUDES(mutex_);
+
+  /// Point-in-time copy of every metric (counters, gauges, histograms) —
+  /// what the exporters consume.  Consistent at batch boundaries.
+  [[nodiscard]] MetricsSnapshot full_snapshot() const SRP_EXCLUDES(mutex_);
 
   /// Process-wide registry for components without an obvious owner.
   static Registry& global();
@@ -54,6 +182,10 @@ class Registry {
  private:
   mutable srp::Mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_
+      SRP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      SRP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
       SRP_GUARDED_BY(mutex_);
 };
 

@@ -33,6 +33,7 @@ TokenCache::Entry TokenCache::store(std::span<const std::uint8_t> token,
     e.flagged = true;
   }
   SIRPENT_ENSURES(e.valid != e.flagged);
+  update_gauge();
   return e;
 }
 
@@ -80,6 +81,7 @@ std::size_t TokenCache::poison(std::uint64_t selector, bool flag) {
   } else {
     entries_.erase(it);
   }
+  update_gauge();
   return 1;
 }
 
@@ -91,6 +93,12 @@ TokenCache::Stats TokenCache::stats() const {
 std::size_t TokenCache::size() const {
   MutexLock lock(mutex_);
   return entries_.size();
+}
+
+void TokenCache::set_occupancy_gauge(stats::Gauge* gauge) {
+  MutexLock lock(mutex_);
+  occupancy_gauge_ = gauge;
+  update_gauge();
 }
 
 }  // namespace srp::tokens

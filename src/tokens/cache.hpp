@@ -25,6 +25,7 @@
 
 #include "check/sync.hpp"
 #include "crypto/siphash.hpp"
+#include "stats/registry.hpp"
 #include "tokens/token.hpp"
 
 namespace srp::tokens {
@@ -137,10 +138,23 @@ class TokenCache {
   [[nodiscard]] Stats stats() const SRP_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t size() const SRP_EXCLUDES(mutex_);
 
+  /// Mirrors the entry count into @p gauge on every mutation (observability
+  /// layer; typically `tokens.<router>.cache_entries`).  nullptr detaches.
+  /// The gauge is lock-free, so updating it under our mutex is cheap and
+  /// keeps it exact at batch boundaries.
+  void set_occupancy_gauge(stats::Gauge* gauge) SRP_EXCLUDES(mutex_);
+
  private:
+  void update_gauge() SRP_REQUIRES(mutex_) {
+    if (occupancy_gauge_ != nullptr) {
+      occupancy_gauge_->set(static_cast<std::int64_t>(entries_.size()));
+    }
+  }
+
   mutable srp::Mutex mutex_;
   std::unordered_map<std::uint64_t, Entry> entries_ SRP_GUARDED_BY(mutex_);
   Stats stats_ SRP_GUARDED_BY(mutex_);
+  stats::Gauge* occupancy_gauge_ SRP_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace srp::tokens

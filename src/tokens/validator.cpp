@@ -72,8 +72,8 @@ std::vector<std::optional<TokenBody>> ValidationEngine::validate_batch(
   // the pool interleaved the work.
   for (const Ticket t : tickets) results.push_back(await(t));
   stats::Registry::global()
-      .counter(pool_ == nullptr ? "tokens.validated.serial"
-                                : "tokens.validated.parallel")
+      .counter(pool_ == nullptr ? "tokens.engine.validated_serial"
+                                : "tokens.engine.validated_parallel")
       .add(batch.size());
   return results;
 }

@@ -34,6 +34,17 @@ VmtpEndpoint::~VmtpEndpoint() {
   }
 }
 
+void VmtpEndpoint::set_observer(const obs::Observer& observer) {
+  if (observer.has_metrics()) {
+    const std::string base = "vmtp." + stats::metric_component(host_.name());
+    obs_rtt_ = &observer.registry->histogram(base + ".rtt_ps");
+    obs_timeouts_ = &observer.registry->counter(base + ".timeouts");
+    obs_failures_ = &observer.registry->counter(base + ".failures");
+    obs_retransmits_ = &observer.registry->counter(base + ".retransmits");
+  }
+  obs_recorder_ = observer.recorder;
+}
+
 std::vector<wire::Bytes> VmtpEndpoint::split(
     std::span<const std::uint8_t> data) const {
   std::vector<wire::Bytes> parts;
@@ -368,6 +379,9 @@ void VmtpEndpoint::handle_nack(const TransportPacket& packet,
     base.timestamp = clock_.now_ms();
     stats_.retransmitted_packets +=
         static_cast<std::uint64_t>(std::popcount(missing));
+    if (obs_retransmits_ != nullptr) {
+      obs_retransmits_->add(static_cast<std::uint64_t>(std::popcount(missing)));
+    }
     send_group(base, st.request_parts, missing, &st.route, nullptr);
     return;
   }
@@ -386,6 +400,9 @@ void VmtpEndpoint::handle_nack(const TransportPacket& packet,
     base.timestamp = clock_.now_ms();
     stats_.retransmitted_packets +=
         static_cast<std::uint64_t>(std::popcount(missing));
+    if (obs_retransmits_ != nullptr) {
+      obs_retransmits_->add(static_cast<std::uint64_t>(std::popcount(missing)));
+    }
     send_group(base, done->second.response_parts, missing, nullptr,
                &delivery);
   }
@@ -404,8 +421,10 @@ void VmtpEndpoint::on_rto(std::uint32_t transaction) {
   TxState& st = it->second;
   st.rto_timer = 0;
   ++stats_.timeouts;
+  if (obs_timeouts_ != nullptr) obs_timeouts_->add(1);
   if (++st.retries > config_.max_retries) {
     ++stats_.failures;
+    if (obs_failures_ != nullptr) obs_failures_->add(1);
     if (on_failure_) on_failure_();
     Result result;
     result.ok = false;
@@ -423,6 +442,9 @@ void VmtpEndpoint::on_rto(std::uint32_t transaction) {
   base.flags = kFlagRetransmission;
   base.timestamp = clock_.now_ms();
   stats_.retransmitted_packets += st.request_parts.size();
+  if (obs_retransmits_ != nullptr) {
+    obs_retransmits_->add(st.request_parts.size());
+  }
   send_group(base, st.request_parts, full_mask(base.group_size), &st.route,
              nullptr);
   arm_rto(transaction);
@@ -434,6 +456,17 @@ void VmtpEndpoint::finish(std::uint32_t transaction, Result result) {
   TxState& st = it->second;
   if (st.rto_timer != 0) sim_.cancel(st.rto_timer);
   if (st.response.gap_timer != 0) sim_.cancel(st.response.gap_timer);
+  if (obs_recorder_ != nullptr) {
+    obs::SpanRecord span;
+    span.trace_id = transaction;
+    span.hop = static_cast<std::uint32_t>(st.retries);
+    span.kind = obs::SpanKind::kTxn;
+    span.start = st.started;
+    span.decision = st.started;
+    span.end = sim_.now();
+    span.set_component(host_.name());
+    obs_recorder_->record(span);
+  }
   ResponseCallback callback = std::move(st.callback);
   outstanding_.erase(it);
   if (callback) callback(std::move(result));
@@ -441,6 +474,7 @@ void VmtpEndpoint::finish(std::uint32_t transaction, Result result) {
 
 void VmtpEndpoint::observe_rtt(sim::Time rtt) {
   srtt_ = srtt_ == 0 ? rtt : (7 * srtt_ + rtt) / 8;
+  if (obs_rtt_ != nullptr) obs_rtt_->record(static_cast<std::uint64_t>(rtt));
 }
 
 sim::Time VmtpEndpoint::rto() const {

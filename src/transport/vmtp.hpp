@@ -112,6 +112,12 @@ class VmtpEndpoint {
   void set_failure_hook(FailureHook hook) { on_failure_ = std::move(hook); }
   void set_rtt_hook(RttHook hook) { on_rtt_ = std::move(hook); }
 
+  /// Wires the endpoint to an observability sink: a
+  /// `vmtp.<host>.rtt_ps` histogram plus `.timeouts` / `.failures` /
+  /// `.retransmits` counters, and — with a recorder — one kTxn span per
+  /// completed client transaction (invoke to response/failure).
+  void set_observer(const obs::Observer& observer);
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::uint64_t entity_id() const { return entity_; }
   [[nodiscard]] HostClock& clock() { return clock_; }
@@ -200,6 +206,13 @@ class VmtpEndpoint {
 
   sim::Time srtt_ = 0;
   Stats stats_;
+
+  // Observability handles, resolved once by set_observer(); null = off.
+  stats::Histogram* obs_rtt_ = nullptr;
+  stats::Counter* obs_timeouts_ = nullptr;
+  stats::Counter* obs_failures_ = nullptr;
+  stats::Counter* obs_retransmits_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace srp::vmtp

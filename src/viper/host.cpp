@@ -37,6 +37,17 @@ void ViperHost::set_default_handler(Handler handler) {
   default_handler_ = std::move(handler);
 }
 
+void ViperHost::set_observer(const obs::Observer& observer) {
+  if (observer.registry != nullptr) {
+    obs_e2e_latency_ = &observer.registry->histogram(
+        "host." + stats::metric_component(name()) + ".e2e_latency_ps");
+  } else {
+    obs_e2e_latency_ = nullptr;
+  }
+  obs_recorder_ = observer.recorder;
+  for (int p = 1; p <= port_count(); ++p) port(p).set_observer(observer);
+}
+
 std::uint64_t ViperHost::send(const core::SourceRoute& route,
                               std::span<const std::uint8_t> data,
                               const SendOptions& options) {
@@ -50,6 +61,9 @@ std::uint64_t ViperHost::send(const core::SourceRoute& route,
   net::PacketPtr packet =
       packets_.make(std::move(w).take(), sim_.now(), options.flow);
   const std::uint64_t id = packet->id;
+  // Mint the trace context at the origin: the packet id is already unique
+  // per simulation, so it doubles as the trace id.
+  if (obs_recorder_ != nullptr) packet->trace_id = id;
   ++stats_.sent;
   core::TypeOfService tos = options.tos;
   port(options.out_port)
@@ -135,6 +149,23 @@ void ViperHost::process(const net::Arrival& arrival) {
 
   ++stats_.delivered;
   if (delivery.truncated) ++stats_.truncated_received;
+
+  if (obs_e2e_latency_ != nullptr) {
+    obs_e2e_latency_->record(
+        static_cast<std::uint64_t>(delivery.delivered_at - delivery.sent_at));
+  }
+  if (obs_recorder_ != nullptr && packet.trace_id != 0) {
+    obs::SpanRecord span;
+    span.trace_id = packet.trace_id;
+    span.hop = packet.hops;
+    span.kind = obs::SpanKind::kDeliver;
+    span.in_port = static_cast<std::uint16_t>(arrival.in_port);
+    span.start = delivery.sent_at;
+    span.decision = arrival.head;
+    span.end = delivery.delivered_at;
+    span.set_component(name());
+    obs_recorder_->record(span);
+  }
 
   if (endpoint.has_value()) {
     const auto it = endpoints_.find(*endpoint);

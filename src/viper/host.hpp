@@ -94,6 +94,14 @@ class ViperHost : public net::PortedNode {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Wires the host to an observability sink.  With a recorder present,
+  /// every packet this host originates is traced: send() mints a trace
+  /// context (trace id = packet id) that rides the packet's measurement
+  /// side-band through every router hop, and delivery records an
+  /// end-to-end kDeliver span.  Metrics: a `host.<name>.e2e_latency_ps`
+  /// histogram of send-to-delivery times.  Also wires this host's ports.
+  void set_observer(const obs::Observer& observer);
+
   void on_arrival(const net::Arrival& arrival) override;
 
  private:
@@ -105,6 +113,10 @@ class ViperHost : public net::PortedNode {
   Handler default_handler_;
   ControlHandler control_handler_;
   Stats stats_;
+
+  // Observability handles, resolved once by set_observer(); null = off.
+  stats::Histogram* obs_e2e_latency_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace srp::viper

@@ -1,5 +1,6 @@
 #include "viper/router.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -118,6 +119,35 @@ void ViperRouter::set_token_authority(const tokens::TokenAuthority* authority,
                                       tokens::Ledger* ledger) {
   authority_ = authority;
   ledger_ = ledger;
+}
+
+void ViperRouter::set_observer(const obs::Observer& observer) {
+  if (observer.registry != nullptr) {
+    const auto instance = stats::metric_component(name());
+    obs_hop_latency_ =
+        &observer.registry->histogram("viper." + instance + ".hop_latency_ps");
+    // Indexed by obs::TokenOutcome; kNone (index 0) is never counted.
+    static constexpr std::array<const char*, 6> kOutcomeMetric = {
+        nullptr,          "token_hit",       "token_miss_optimistic",
+        "token_miss_blocking", "token_miss_drop", "token_rejected"};
+    for (std::size_t i = 1; i < kOutcomeMetric.size(); ++i) {
+      obs_token_counters_[i] = &observer.registry->counter(
+          "viper." + instance + "." + kOutcomeMetric[i]);
+    }
+    token_cache_.set_occupancy_gauge(
+        &observer.registry->gauge("tokens." + instance + ".cache_entries"));
+  } else {
+    obs_hop_latency_ = nullptr;
+    obs_token_counters_ = {};
+    token_cache_.set_occupancy_gauge(nullptr);
+  }
+  obs_recorder_ = observer.recorder;
+  for (int p = 1; p <= port_count(); ++p) port(p).set_observer(observer);
+}
+
+void ViperRouter::count_token_outcome(obs::TokenOutcome outcome) {
+  stats::Counter* c = obs_token_counters_[static_cast<std::size_t>(outcome)];
+  if (c != nullptr) c->add();
 }
 
 void ViperRouter::on_arrival(const net::Arrival& arrival) {
@@ -292,6 +322,7 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
   (void)physical_port;
   if (seg.token.empty()) {
     ++stats_.dropped_unauthorized;
+    count_token_outcome(obs::TokenOutcome::kRejected);
     return std::nullopt;
   }
 
@@ -300,6 +331,7 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
   if (entry.has_value()) {
     if (entry->flagged) {
       ++stats_.dropped_unauthorized;
+      count_token_outcome(obs::TokenOutcome::kRejected);
       return std::nullopt;
     }
     // Cached, valid: real-time checks against the cached body.  A token
@@ -312,21 +344,25 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
     if (!port_ok || core::priority_rank(seg.tos.priority) >
                         core::priority_rank(entry->body.max_priority)) {
       ++stats_.dropped_unauthorized;
+      count_token_outcome(obs::TokenOutcome::kRejected);
       return std::nullopt;
     }
     if (entry->body.expiry_sec != 0 &&
         sim_.now() > static_cast<sim::Time>(entry->body.expiry_sec) *
                          sim::kSecond) {
       ++stats_.dropped_expired_token;
+      count_token_outcome(obs::TokenOutcome::kRejected);
       return std::nullopt;
     }
     SIRPENT_INVARIANT(ledger_ != nullptr);
     if (token_cache_.charge(seg.token, packet_bytes, *ledger_) !=
         tokens::TokenCache::ChargeResult::kCharged) {
       ++stats_.dropped_token_limit;
+      count_token_outcome(obs::TokenOutcome::kRejected);
       return std::nullopt;
     }
-    return TokenDecision{0, entry->body.reverse_ok};
+    count_token_outcome(obs::TokenOutcome::kHit);
+    return TokenDecision{0, entry->body.reverse_ok, obs::TokenOutcome::kHit};
   }
 
   // Miss: start the (slow) verification exactly once per token value.
@@ -365,21 +401,24 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
       // through without significant problems."  The token is also echoed
       // into the trailer optimistically: by the time a reply presents it,
       // verification has landed and a bad token is flagged.
-      return TokenDecision{0, true};
+      count_token_outcome(obs::TokenOutcome::kMissOptimistic);
+      return TokenDecision{0, true, obs::TokenOutcome::kMissOptimistic};
     case tokens::UncachedPolicy::kBlocking:
       // "the initial packet can be handled as a blocked packet ... the
       // blocking action allows some time for the token to be processed."
-      return TokenDecision{config_.verify_delay, false};
+      count_token_outcome(obs::TokenOutcome::kMissBlocking);
+      return TokenDecision{config_.verify_delay, false,
+                           obs::TokenOutcome::kMissBlocking};
     case tokens::UncachedPolicy::kDrop:
       ++stats_.dropped_uncached;
+      count_token_outcome(obs::TokenOutcome::kMissDrop);
       return std::nullopt;
   }
   return std::nullopt;
 }
 
-sim::Time ViperRouter::earliest_forward_time(const net::Arrival& arrival,
-                                             std::size_t consumed,
-                                             int out_port) const {
+ViperRouter::ForwardTiming ViperRouter::forward_timing(
+    const net::Arrival& arrival, std::size_t consumed, int out_port) const {
   // Cut-through preconditions (§2.1): output may start only after the
   // decision point — link header + first segment — has fully arrived, and
   // never before the packet's head reached us.
@@ -387,22 +426,25 @@ sim::Time ViperRouter::earliest_forward_time(const net::Arrival& arrival,
   SIRPENT_EXPECTS(arrival.head <= arrival.tail);
   const net::TxPort& out = port(out_port);
   const bool same_rate = arrival.rate_bps == out.config().rate_bps;
+  ForwardTiming timing;
   if (config_.cut_through && same_rate) {
     // Decision is possible once the link header + first segment are in.
-    const sim::Time start = arrival.head +
-                            sim::byte_time(consumed, arrival.rate_bps) +
-                            config_.decision_delay;
-    SIRPENT_ENSURES(start >= arrival.head);
-    return start;
+    timing.cut_through = true;
+    timing.decision =
+        arrival.head + sim::byte_time(consumed, arrival.rate_bps);
+  } else {
+    // "Cut-through routing is only applicable when the input link and the
+    // output link are the same data rates" — otherwise store-and-forward.
+    timing.decision = arrival.tail + config_.store_forward_proc;
   }
-  // "Cut-through routing is only applicable when the input link and the
-  // output link are the same data rates" — otherwise store-and-forward.
-  return arrival.tail + config_.store_forward_proc + config_.decision_delay;
+  timing.earliest = timing.decision + config_.decision_delay;
+  SIRPENT_ENSURES(timing.earliest >= arrival.head);
+  return timing;
 }
 
 void ViperRouter::forward(const net::Arrival& arrival,
                           const ParsedFront& front, int physical_port,
-                          const wire::Bytes& bytes) {
+                          const wire::Bytes& bytes, bool was_blocked) {
   if (physical_port <= 0 || physical_port > port_count()) {
     ++stats_.dropped_no_port;
     return;
@@ -423,7 +465,8 @@ void ViperRouter::forward(const net::Arrival& arrival,
     sim_.after(decision->extra_delay,
                [this, deferred, front_copy = std::move(front_copy),
                 physical_port, bytes_copy = std::move(bytes_copy)] {
-                 forward(deferred, front_copy, physical_port, bytes_copy);
+                 forward(deferred, front_copy, physical_port, bytes_copy,
+                         /*was_blocked=*/true);
                });
     return;
   }
@@ -467,16 +510,36 @@ void ViperRouter::forward(const net::Arrival& arrival,
   // read by this router's congested-port monitor (paper §2.2).
   derived->feedforward = arrival.packet->feedforward;
 
-  const sim::Time earliest =
-      earliest_forward_time(arrival, front.consumed, physical_port);
+  const ForwardTiming timing =
+      forward_timing(arrival, front.consumed, physical_port);
   const net::TxMeta meta = meta_for(front.segment.tos);
 
   ++stats_.forwarded;
+  if (obs_hop_latency_ != nullptr) {
+    obs_hop_latency_->record(
+        static_cast<std::uint64_t>(timing.earliest - arrival.head));
+  }
+  if (obs_recorder_ != nullptr && derived->trace_id != 0) {
+    obs::SpanRecord span;
+    span.trace_id = derived->trace_id;
+    span.hop = arrival.packet->hops;
+    span.kind = obs::SpanKind::kHop;
+    span.token = was_blocked ? obs::TokenOutcome::kMissBlocking
+                             : decision->outcome;
+    span.cut_through = timing.cut_through;
+    span.in_port = static_cast<std::uint16_t>(arrival.in_port);
+    span.out_port = static_cast<std::uint16_t>(physical_port);
+    span.start = arrival.head;
+    span.decision = timing.decision;
+    span.end = timing.earliest;
+    span.set_component(name());
+    obs_recorder_->record(span);
+  }
   if (shaper_ &&
-      shaper_(physical_port, next_port, derived, meta, earliest)) {
+      shaper_(physical_port, next_port, derived, meta, timing.earliest)) {
     return;  // congestion layer took custody
   }
-  out.enqueue(std::move(derived), meta, earliest);
+  out.enqueue(std::move(derived), meta, timing.earliest);
 }
 
 void ViperRouter::forward_into_tunnel(const net::Arrival& arrival,
@@ -492,6 +555,26 @@ void ViperRouter::forward_into_tunnel(const net::Arrival& arrival,
   w.bytes(std::span{bytes}.subspan(front.consumed));
   encode_segment(w, make_return_entry(arrival, front, decision->reversible));
   ++stats_.forwarded;
+  if (obs_hop_latency_ != nullptr) {
+    obs_hop_latency_->record(
+        static_cast<std::uint64_t>(arrival.tail - arrival.head));
+  }
+  if (obs_recorder_ != nullptr && arrival.packet->trace_id != 0) {
+    // Tunnel hops are store-and-forward by construction; the span closes
+    // when the encapsulated image is handed to the tunnel transmit hook.
+    obs::SpanRecord span;
+    span.trace_id = arrival.packet->trace_id;
+    span.hop = arrival.packet->hops;
+    span.kind = obs::SpanKind::kHop;
+    span.token = decision->outcome;
+    span.in_port = static_cast<std::uint16_t>(arrival.in_port);
+    span.out_port = front.segment.port;
+    span.start = arrival.head;
+    span.decision = arrival.tail;
+    span.end = std::max(arrival.tail, sim_.now());
+    span.set_component(name());
+    obs_recorder_->record(span);
+  }
   transmit(front.segment.port_info, std::move(w).take(), front.segment.tos);
 }
 

@@ -19,6 +19,7 @@
 // style multicast (§2, §2.2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -32,6 +33,7 @@
 #include "core/trailer.hpp"
 #include "net/ethernet.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "sim/time.hpp"
 #include "tokens/cache.hpp"
 #include "tokens/token.hpp"
@@ -166,6 +168,17 @@ class ViperRouter : public net::PortedNode {
     config_.verify_delay = verify_delay;
   }
 
+  /// Wires the router (and its token cache) to an observability sink:
+  /// a `viper.<name>.hop_latency_ps` histogram (head arrival to earliest
+  /// forward), `viper.<name>.token_*` outcome counters, a
+  /// `tokens.<name>.cache_entries` gauge, and — when a recorder is
+  /// present — one kHop span per forwarded traced packet capturing the
+  /// arrival / switch-decision / earliest-forward times, the cut-through
+  /// vs store-and-forward choice and the token outcome.  All handles are
+  /// resolved here once; an unobserved router pays one untaken branch per
+  /// instrumentation point.  Call set_observer after the last add_port().
+  void set_observer(const obs::Observer& observer);
+
   void set_control_handler(ControlHandler handler) {
     control_handler_ = std::move(handler);
   }
@@ -203,8 +216,12 @@ class ViperRouter : public net::PortedNode {
       bool synthetic_tree_copy,
       std::optional<std::pair<std::uint8_t, wire::Bytes>> tunnel_return =
           std::nullopt);
+  /// @p was_blocked marks a re-entry after a blocking token admission, so
+  /// the hop span keeps the miss-blocking outcome instead of the hit the
+  /// retry sees.
   void forward(const net::Arrival& arrival, const ParsedFront& front,
-               int physical_port, const wire::Bytes& bytes);
+               int physical_port, const wire::Bytes& bytes,
+               bool was_blocked = false);
   void deliver_control(const net::Arrival& arrival, const ParsedFront& front,
                        const wire::Bytes& bytes);
   void branch_tree(const net::Arrival& arrival, const ParsedFront& front,
@@ -221,14 +238,24 @@ class ViperRouter : public net::PortedNode {
   struct TokenDecision {
     sim::Time extra_delay = 0;
     bool reversible = false;
+    obs::TokenOutcome outcome = obs::TokenOutcome::kNone;
   };
   std::optional<TokenDecision> admit_token(const core::HeaderSegment& seg,
                                            int physical_port,
                                            std::size_t packet_bytes);
 
-  [[nodiscard]] sim::Time earliest_forward_time(const net::Arrival& arrival,
-                                                std::size_t consumed,
-                                                int out_port) const;
+  /// When the switch decision happens and when output may start (§2.1).
+  struct ForwardTiming {
+    sim::Time decision = 0;  ///< header+segment in hand, route resolved
+    sim::Time earliest = 0;  ///< decision + setup; output never earlier
+    bool cut_through = false;
+  };
+  [[nodiscard]] ForwardTiming forward_timing(const net::Arrival& arrival,
+                                             std::size_t consumed,
+                                             int out_port) const;
+
+  /// Bumps the `viper.<name>.token_*` counter for @p outcome, if observed.
+  void count_token_outcome(obs::TokenOutcome outcome);
 
   void forward_into_tunnel(const net::Arrival& arrival,
                            const ParsedFront& front,
@@ -249,6 +276,11 @@ class ViperRouter : public net::PortedNode {
   ControlHandler control_handler_;
   Shaper shaper_;
   Stats stats_;
+
+  // Observability handles, resolved once by set_observer(); null = off.
+  stats::Histogram* obs_hop_latency_ = nullptr;
+  std::array<stats::Counter*, 6> obs_token_counters_{};  // by TokenOutcome
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 /// 8-byte local endpoint id carried in a port-0 segment's portInfo.

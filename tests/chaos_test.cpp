@@ -16,6 +16,7 @@
 //     byte-identically from the same plan seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "directory/client.hpp"
 #include "directory/fabric.hpp"
 #include "fault/engine.hpp"
+#include "obs/recorder.hpp"
 #include "test_util.hpp"
 #include "transport/vmtp.hpp"
 
@@ -55,7 +57,8 @@ struct ChaosOutcome {
 
 /// Runs the full chaos scenario.  The world is built from scratch each
 /// call so reruns share no state but the seed.
-ChaosOutcome run_chaos(std::uint64_t seed) {
+ChaosOutcome run_chaos(std::uint64_t seed,
+                       const obs::Observer& observer = {}) {
   sim::Simulator sim;
   dir::Fabric fabric(sim);
   auto& client_host = fabric.add_host("client.chaos");
@@ -80,6 +83,7 @@ ChaosOutcome run_chaos(std::uint64_t seed) {
   fabric.enable_tokens(0xC4A05, /*enforce=*/true,
                        tokens::UncachedPolicy::kOptimistic);
   fabric.enable_congestion_control();
+  fabric.enable_observability(observer);
 
   // The attack: every lane live on every port of every node, ≥1% each,
   // plus token-cache forgetting and two explicit flap windows that kill
@@ -232,6 +236,54 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSuite,
 
 TEST(ChaosReplay, SameSeedYieldsByteIdenticalStats) {
   test::expect_deterministic([] { return run_chaos(0x5EED); });
+}
+
+TEST(ChaosObservability, SpanTimelinesStayCoherentUnderChaos) {
+  stats::Registry registry;
+  obs::FlightRecorder recorder(std::size_t{1} << 18);
+  const ChaosOutcome outcome = run_chaos(1, {&registry, &recorder});
+  EXPECT_GT(outcome.ok, 0);
+  EXPECT_GT(recorder.recorded(), 0u);
+
+  // Per-hop latency histograms filled at the routers on the primary path.
+  const auto snap = registry.full_snapshot();
+  EXPECT_GT(snap.histograms.at("viper.r1.hop_latency_ps").count, 0u);
+  EXPECT_GT(snap.histograms.at("viper.r4.hop_latency_ps").count, 0u);
+
+  // Even under drops, duplicates, reordering and flaps, every span must
+  // describe a causally ordered window, and a delivered trace must show
+  // the router hops that preceded the delivery.
+  std::map<std::uint64_t, std::vector<obs::SpanRecord>> by_trace;
+  std::uint64_t hop_spans = 0;
+  std::uint64_t deliver_spans = 0;
+  for (const auto& span : recorder.spans()) {
+    EXPECT_NE(span.trace_id, 0u);
+    EXPECT_GE(span.decision, span.start);
+    EXPECT_GE(span.end, span.decision);
+    if (span.kind == obs::SpanKind::kHop) ++hop_spans;
+    if (span.kind == obs::SpanKind::kDeliver) ++deliver_spans;
+    by_trace[span.trace_id].push_back(span);
+  }
+  EXPECT_GT(hop_spans, 0u);
+  EXPECT_GT(deliver_spans, 0u);
+  for (const auto& [trace, spans] : by_trace) {
+    sim::Time first_hop_start = -1;
+    sim::Time deliver_end = -1;
+    for (const auto& span : spans) {
+      if (span.kind == obs::SpanKind::kHop &&
+          (first_hop_start < 0 || span.start < first_hop_start)) {
+        first_hop_start = span.start;
+      }
+      if (span.kind == obs::SpanKind::kDeliver) {
+        deliver_end = std::max(deliver_end, span.end);
+      }
+    }
+    if (deliver_end >= 0) {
+      ASSERT_GE(first_hop_start, 0)
+          << "delivered trace " << trace << " has no hop spans";
+      EXPECT_LE(first_hop_start, deliver_end) << "trace " << trace;
+    }
+  }
 }
 
 TEST(TokenFlagPoisoning, BlockedPathIsRoutedAroundEndToEnd) {

@@ -19,6 +19,7 @@
 #include "check/sync.hpp"
 #include "directory/fabric.hpp"
 #include "exec/worker_pool.hpp"
+#include "obs/recorder.hpp"
 #include "stats/registry.hpp"
 #include "test_util.hpp"
 #include "tokens/cache.hpp"
@@ -134,22 +135,63 @@ TEST(StatsRegistry, ConcurrentCountersStress) {
   hammer([&registry](int t) {
     // Everyone bumps a shared counter and a per-thread one; the name map
     // is mutated concurrently with lookups.
-    stats::Counter& shared = registry.counter("shared");
+    stats::Counter& shared = registry.counter("test.shared");
     stats::Counter& mine =
-        registry.counter("thread." + std::to_string(t));
+        registry.counter("test.thread_" + std::to_string(t));
     for (int i = 0; i < kOpsPerThread; ++i) {
       shared.add();
       mine.add(2);
-      registry.counter("shared").add();  // re-lookup path
+      registry.counter("test.shared").add();  // re-lookup path
     }
   });
   const auto snap = registry.snapshot();
-  EXPECT_EQ(snap.at("shared"),
+  EXPECT_EQ(snap.at("test.shared"),
             2ull * kThreads * kOpsPerThread);
   for (int t = 0; t < kThreads; ++t) {
-    EXPECT_EQ(snap.at("thread." + std::to_string(t)),
+    EXPECT_EQ(snap.at("test.thread_" + std::to_string(t)),
               2ull * kOpsPerThread);
   }
+}
+
+TEST(StatsRegistry, ConcurrentGaugesAndHistogramsStress) {
+  stats::Registry registry;
+  hammer([&registry](int t) {
+    stats::Gauge& depth = registry.gauge("test.queue.depth");
+    stats::Histogram& lat = registry.histogram("test.queue.wait_ps");
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      depth.add(1);
+      lat.record(static_cast<std::uint64_t>(t * kOpsPerThread + i));
+      depth.sub(1);
+    }
+  });
+  EXPECT_EQ(registry.gauge("test.queue.depth").value(), 0);
+  const auto& lat = registry.histogram("test.queue.wait_ps");
+  EXPECT_EQ(lat.count(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  const auto snap = lat.snapshot();
+  std::uint64_t total = 0;
+  for (const auto bucket : snap.buckets) total += bucket;
+  EXPECT_EQ(total, lat.count());
+}
+
+TEST(FlightRecorder, ConcurrentRecordStress) {
+  // The ring is sized so the writers wrap it several times; TSan checks
+  // the claim that record() itself is race-free (slot contents are only
+  // read quiescently, after the join).
+  obs::FlightRecorder recorder(1 << 10);
+  hammer([&recorder](int t) {
+    obs::SpanRecord span;
+    span.trace_id = static_cast<std::uint64_t>(t) + 1;
+    span.kind = obs::SpanKind::kHop;
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      span.hop = static_cast<std::uint32_t>(i);
+      recorder.record(span);
+    }
+  });
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(recorder.dropped(), recorder.recorded() - recorder.capacity());
+  EXPECT_EQ(recorder.spans().size(), recorder.capacity());
 }
 
 // --- Token cache + ledger -------------------------------------------------

@@ -200,5 +200,32 @@ TEST(Trace, DisabledByDefaultAndCounts) {
   EXPECT_EQ(trace.count_containing("o"), 2u);
 }
 
+TEST(Trace, RetentionIsBoundedByLimit) {
+  Trace trace;
+  trace.enable();
+  trace.set_limit(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.emit(i, "x", "msg" + std::to_string(i));
+  }
+  EXPECT_EQ(trace.records().size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  // Oldest evicted first: the retained window is the most recent four.
+  EXPECT_EQ(trace.records().front().message, "msg6");
+  EXPECT_EQ(trace.records().back().message, "msg9");
+}
+
+TEST(Trace, ShrinkingLimitEvictsImmediately) {
+  Trace trace;
+  trace.enable();
+  for (int i = 0; i < 8; ++i) trace.emit(i, "x", "m");
+  EXPECT_EQ(trace.records().size(), 8u);
+  trace.set_limit(3);
+  EXPECT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.dropped(), 5u);
+  EXPECT_EQ(trace.records().front().when, 5);
+  trace.clear();
+  EXPECT_EQ(trace.dropped(), 5u);  // clear() keeps the drop count
+}
+
 }  // namespace
 }  // namespace srp::sim

@@ -94,8 +94,8 @@ TEST(Queueing, SaturationIsInfinite) {
   EXPECT_THROW(md1_mean_in_system(-0.1), std::invalid_argument);
 }
 
-TEST(Histogram, BinningAndCdf) {
-  Histogram h(0.0, 10.0, 10);
+TEST(LinearHistogram, BinningAndCdf) {
+  LinearHistogram h(0.0, 10.0, 10);
   for (int i = 0; i < 10; ++i) h.add(i + 0.5);
   h.add(-1);   // underflow
   h.add(100);  // overflow
@@ -106,9 +106,9 @@ TEST(Histogram, BinningAndCdf) {
   EXPECT_NEAR(h.cdf(5.0), 6.0 / 12.0, 1e-12);  // underflow + bins 0..4
 }
 
-TEST(Histogram, InvalidConstruction) {
-  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
-  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+TEST(LinearHistogram, InvalidConstruction) {
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
 TEST(Table, RendersAlignedRows) {
