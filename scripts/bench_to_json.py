@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Collect the repo's microbenchmark results into one JSON document.
+
+Runs the google-benchmark binaries (bench_obs_overhead,
+bench_fault_overhead, bench_flow_overhead) with --benchmark_format=json
+and folds every benchmark into a flat {name: ns_per_op} map using
+cpu_time; then runs bench_parallel_validation (a stats::Table text
+report) and converts each configuration's tokens/s into ns per token
+(1e9 / tokens_per_s) under parallel_validation.<workers>.
+
+The output (default BENCH_PR5.json) is what CI uploads as the per-build
+performance artifact, so the schema is deliberately trivial: one flat
+object, names stable across runs, values in nanoseconds.
+
+Usage: bench_to_json.py --bindir build/bench [--out BENCH_PR5.json]
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+GBENCH_BINARIES = [
+    "bench_obs_overhead",
+    "bench_fault_overhead",
+    "bench_flow_overhead",
+]
+
+# | serial (inline) | 767300   | 1.00 | 3072 |
+TABLE_ROW = re.compile(
+    r"^\|\s*(?P<label>[^|]+?)\s*\|\s*(?P<tokens>\d+)\s*\|")
+
+
+def run_gbench(bindir, name, results):
+    out = subprocess.run(
+        [f"{bindir}/{name}", "--benchmark_format=json"],
+        capture_output=True, text=True, check=True).stdout
+    for bench in json.loads(out)["benchmarks"]:
+        results[bench["name"]] = float(bench["cpu_time"])
+
+
+def run_parallel_validation(bindir, results):
+    out = subprocess.run(
+        [f"{bindir}/bench_parallel_validation"],
+        capture_output=True, text=True, check=True).stdout
+    rows = 0
+    for line in out.splitlines():
+        match = TABLE_ROW.match(line.strip())
+        if not match:
+            continue
+        label = match.group("label")
+        if not label or label.startswith(("workers", "---")):
+            continue
+        tokens_per_s = float(match.group("tokens"))
+        if tokens_per_s <= 0:
+            continue
+        key = "serial" if label.startswith("serial") else f"workers_{label}"
+        results[f"parallel_validation.{key}"] = 1e9 / tokens_per_s
+        rows += 1
+    if rows == 0:
+        sys.exit("error: no throughput rows parsed "
+                 "from bench_parallel_validation")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bindir", default="build/bench",
+                        help="directory holding the bench binaries")
+    parser.add_argument("--out", default="BENCH_PR5.json",
+                        help="output JSON path")
+    args = parser.parse_args()
+
+    results = {}
+    for name in GBENCH_BINARIES:
+        run_gbench(args.bindir, name, results)
+    run_parallel_validation(args.bindir, results)
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(results)} benchmarks, ns/op)")
+
+
+if __name__ == "__main__":
+    main()

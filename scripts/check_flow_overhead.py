@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Gate on the flow-accounting plane's cost contract.
+
+Reads bench_flow_overhead JSON output (--benchmark_format=json) and
+checks two ratios on the end-to-end forward path:
+
+  obs_no_flow / no_observer    <= BOUND          (default 1.40)
+  flow_enabled / obs_no_flow   <= ENABLED_BOUND  (default 1.50)
+
+The first is the disabled-path contract: with metrics and tracing wired
+but no flow plane, the only flow-plane cost is one untaken null-pointer
+branch per forward, so the ratio must stay at the PR-4 observability
+level (the bound absorbs the per-hop histogram/span work that obs itself
+performs, plus CI noise).  The second bounds the enabled cost: a full
+FlowTable record + sampler draw + feeder bookkeeping per hop must stay a
+modest increment, not a rescan or an allocation storm.
+
+Usage: check_flow_overhead.py results.json [--bound 1.40]
+                                           [--enabled-bound 1.50]
+"""
+
+import argparse
+import json
+import sys
+
+BASELINE = "BM_ForwardNoObserver"
+OBS_NO_FLOW = "BM_ForwardObsNoFlow"
+FLOW_ENABLED = "BM_ForwardFlowEnabled"
+
+
+def cpu_time(benchmarks, name):
+    for bench in benchmarks:
+        if bench["name"] == name:
+            return float(bench["cpu_time"])
+    sys.exit(f"error: benchmark {name!r} missing from results")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="bench_flow_overhead JSON output")
+    parser.add_argument("--bound", type=float, default=1.40,
+                        help="max obs-no-flow / baseline ratio")
+    parser.add_argument("--enabled-bound", type=float, default=1.50,
+                        help="max flow-enabled / obs-no-flow ratio")
+    args = parser.parse_args()
+
+    with open(args.results, encoding="utf-8") as handle:
+        benchmarks = json.load(handle)["benchmarks"]
+
+    base = cpu_time(benchmarks, BASELINE)
+    no_flow = cpu_time(benchmarks, OBS_NO_FLOW)
+    enabled = cpu_time(benchmarks, FLOW_ENABLED)
+
+    disabled_ratio = no_flow / base
+    enabled_ratio = enabled / no_flow
+    print(f"{BASELINE}: {base:.1f} ns")
+    print(f"{OBS_NO_FLOW}: {no_flow:.1f} ns")
+    print(f"{FLOW_ENABLED}: {enabled:.1f} ns")
+    print(f"no-flow ratio: {disabled_ratio:.3f} (bound {args.bound})")
+    print(f"enabled ratio: {enabled_ratio:.3f} "
+          f"(bound {args.enabled_bound})")
+    if disabled_ratio > args.bound:
+        sys.exit("FAIL: no-flow forward-path overhead exceeds bound")
+    if enabled_ratio > args.enabled_bound:
+        sys.exit("FAIL: enabled flow accounting overhead exceeds bound")
+    print("OK: flow accounting overhead within bounds")
+
+
+if __name__ == "__main__":
+    main()

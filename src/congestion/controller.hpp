@@ -78,7 +78,10 @@ class CongestionController {
   /// Wires the controller to an observability sink: a `cc.<router>.flows`
   /// gauge (throttle-table size), `cc.<router>.reports_*` / `.shaped`
   /// counters, and — with a recorder — a kThrottle instant span whenever a
-  /// traced packet is held by the shaper.
+  /// traced packet is held by the shaper.  With a flow sink present the
+  /// controller shares the router's scoped flow observer and identifies a
+  /// congested port's feeders from its aggregates (feeders_toward) instead
+  /// of rescanning the output queue.
   void set_observer(const obs::Observer& observer);
 
   /// Currently granted rate toward @p key; +inf when unlimited.
@@ -86,6 +89,18 @@ class CongestionController {
 
   /// Number of packets currently held by shaping queues.
   [[nodiscard]] std::size_t held_packets() const;
+
+  /// One rate limit's soft state, for live introspection.
+  struct FlowSnapshot {
+    FlowKey key;                  ///< downstream (router id, port) queue
+    double rate_bps = 0.0;        ///< granted rate
+    std::size_t held_packets = 0; ///< packets currently held by the shaper
+    std::size_t held_bytes = 0;
+    sim::Time expires = 0;        ///< soft-state expiry
+  };
+
+  /// Every active rate limit in deterministic (FlowKey) order.
+  [[nodiscard]] std::vector<FlowSnapshot> flow_snapshots() const;
 
  private:
   struct Held {
@@ -141,6 +156,7 @@ class CongestionController {
   stats::Counter* obs_reports_received_ = nullptr;
   stats::Counter* obs_shaped_ = nullptr;
   obs::FlightRecorder* obs_recorder_ = nullptr;
+  obs::FlowSink* obs_flow_ = nullptr;  // shared with the router by name
 
   void update_flows_gauge() {
     if (obs_flows_ != nullptr) {

@@ -176,6 +176,7 @@ void Fabric::enable_load_reporting(sim::Time interval) {
 }
 
 void Fabric::enable_observability(const obs::Observer& observer) {
+  observer_ = observer;
   for (viper::ViperRouter* router : routers_) router->set_observer(observer);
   for (viper::ViperHost* host : hosts_) host->set_observer(observer);
   for (auto& controller : controllers_) controller->set_observer(observer);

@@ -112,6 +112,9 @@ class Fabric {
   [[nodiscard]] const std::vector<viper::ViperHost*>& hosts() const {
     return hosts_;
   }
+  /// The observer last passed to enable_observability() (all-null sinks
+  /// before the first call) — what obs::Introspector snapshots against.
+  [[nodiscard]] const obs::Observer& observer() const { return observer_; }
 
   /// A RouteCache for @p host (owned by the fabric).
   RouteCache& route_cache(viper::ViperHost& host,
@@ -158,6 +161,7 @@ class Fabric {
       throttles_;
   std::map<const viper::ViperHost*, std::unique_ptr<RouteCache>> caches_;
   std::uint16_t next_mac_index_ = 1;
+  obs::Observer observer_;  ///< last enable_observability() argument
 };
 
 }  // namespace srp::dir

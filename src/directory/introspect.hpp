@@ -1,0 +1,40 @@
+// Live fabric introspection: a queryable diagnostics snapshot.
+//
+// An Introspector turns the current state of a dir::Fabric — per-router
+// forwarding stats, per-port queue gauges, token-cache occupancy,
+// congestion rate-limit soft state, the flow plane's heavy hitters and
+// per-account roll-ups against the ledger — into one deterministic,
+// name-sorted JSON document.  It reads only state the components already
+// keep; taking a snapshot never perturbs the simulation schedule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "directory/fabric.hpp"
+#include "flow/plane.hpp"
+
+namespace srp::obs {
+
+class Introspector {
+ public:
+  /// @p plane may be null (no flow accounting: the snapshot then omits the
+  /// flows / accounts sections).  @p top_k bounds the heavy-hitter lists.
+  explicit Introspector(dir::Fabric& fabric,
+                        const flow::FlowPlane* plane = nullptr,
+                        std::size_t top_k = 8)
+      : fabric_(fabric), plane_(plane), top_k_(top_k) {}
+
+  /// The whole-fabric diagnostics document at simulated time @p now.
+  /// Deterministic: routers and hosts in fabric construction order carry
+  /// their names, every map is key-sorted, flows are in FlowTable::top()
+  /// order.
+  [[nodiscard]] std::string snapshot_json(sim::Time now);
+
+ private:
+  dir::Fabric& fabric_;
+  const flow::FlowPlane* plane_;
+  const std::size_t top_k_;
+};
+
+}  // namespace srp::obs

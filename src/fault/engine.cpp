@@ -34,6 +34,7 @@ net::PacketPtr clone_packet(const net::Packet& packet) {
   copy->feedforward = packet.feedforward;
   copy->recirculations = packet.recirculations;
   copy->trace_id = packet.trace_id;
+  copy->route_digest = packet.route_digest;
   copy->parent = packet.parent;
   return copy;
 }

@@ -1,0 +1,43 @@
+// Flow-record export: an operator-facing JSON document and an
+// IPFIX-flavored binary export.
+//
+// The JSON export is deterministic (components name-sorted, flows in
+// top() order, accounts numerically sorted) so fixed-seed runs diff
+// cleanly and the golden fixture stays stable.
+//
+// The binary export follows the IPFIX (RFC 7011) framing — version-10
+// message header, one template set describing the record layout with
+// enterprise-specific information elements, then one data set — so the
+// records are parseable by standard collectors given the template.  All
+// fields live under a private enterprise number; see kEnterpriseNumber.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/plane.hpp"
+#include "flow/table.hpp"
+#include "wire/buffer.hpp"
+
+namespace srp::flow {
+
+/// Private enterprise number carried by every IPFIX field spec ("SRPT").
+inline constexpr std::uint32_t kEnterpriseNumber = 0x53525054;
+/// Template id of the flow-record layout (>= 256 per RFC 7011).
+inline constexpr std::uint16_t kTemplateId = 256;
+
+/// Whole-plane JSON snapshot: per-component table stats, the top_k
+/// heaviest flows each, per-component and plane-wide account roll-ups.
+[[nodiscard]] std::string to_json(const FlowPlane& plane,
+                                  std::size_t top_k = 8);
+
+/// IPFIX-framed export of @p records (template set + data set in one
+/// message).  @p export_time_sec is the header export timestamp — pass a
+/// fixed value for reproducible fixtures.
+[[nodiscard]] wire::Bytes to_ipfix(const std::vector<FlowRecord>& records,
+                                   std::uint32_t observation_domain,
+                                   std::uint32_t export_time_sec,
+                                   std::uint32_t sequence);
+
+}  // namespace srp::flow

@@ -39,6 +39,11 @@ struct Packet : std::enable_shared_from_this<Packet> {
                                     ///  (Blazenet-style deferral, §2.1)
   std::uint64_t trace_id = 0;  ///< nonzero = per-hop tracing requested;
                                ///  spans land in the obs::FlightRecorder
+  std::uint64_t route_digest = 0;  ///< hash of the source route stamped by
+                                   ///  the origin host when flow accounting
+                                   ///  is on; constant along the whole path
+                                   ///  (0 = unattributed, e.g. tunnel
+                                   ///  ingress)
 
   /// Upstream image this packet was derived from.  With cut-through a
   /// router forwards the head of a packet whose tail is still in flight
@@ -69,6 +74,7 @@ struct Packet : std::enable_shared_from_this<Packet> {
     p->flow = flow;
     p->hops = hops + 1;
     p->trace_id = trace_id;
+    p->route_digest = route_digest;
     p->parent = shared_from_this();
     return p;
   }

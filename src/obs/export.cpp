@@ -61,6 +61,7 @@ std::string_view span_category(SpanKind kind) {
     case SpanKind::kVerify: return "tokens";
     case SpanKind::kDeliver: return "host";
     case SpanKind::kTxn: return "vmtp";
+    case SpanKind::kSample: return "flow";
   }
   return "?";
 }
@@ -157,7 +158,7 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
                json_escape(span.component_view()).c_str());
     append_fmt(out, "\"cat\":\"%s\",",
                std::string(span_category(span.kind)).c_str());
-    if (span.kind == SpanKind::kThrottle) {
+    if (span.kind == SpanKind::kThrottle || span.kind == SpanKind::kSample) {
       append_fmt(out, "\"ph\":\"i\",\"s\":\"t\",\"ts\":%.6f,", ts);
     } else {
       const double dur =
@@ -176,6 +177,13 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
     append_fmt(out, ",\"queue_delay_ps\":%" PRId64, span.queue_delay);
     append_fmt(out, ",\"decision_us\":%.6f",
                static_cast<double>(span.decision) / kPsPerUs);
+    if (span.excerpt_len != 0) {
+      out += ",\"excerpt\":\"";
+      for (std::uint8_t i = 0; i < span.excerpt_len; ++i) {
+        append_fmt(out, "%02x", span.excerpt[i]);
+      }
+      out += "\"";
+    }
     out += "}}";
   }
   for (const auto& [tid, unused] : seen_tids) {

@@ -14,6 +14,7 @@ std::string_view to_string(SpanKind kind) {
     case SpanKind::kVerify: return "verify";
     case SpanKind::kDeliver: return "deliver";
     case SpanKind::kTxn: return "txn";
+    case SpanKind::kSample: return "sample";
   }
   return "?";
 }
@@ -38,6 +39,12 @@ void SpanRecord::set_component(std::string_view name) {
 
 std::string_view SpanRecord::component_view() const {
   return {component.data(), std::strlen(component.data())};
+}
+
+void SpanRecord::set_excerpt(std::span<const std::uint8_t> header) {
+  const auto n = std::min(header.size(), excerpt.size());
+  if (n != 0) std::memcpy(excerpt.data(), header.data(), n);
+  excerpt_len = static_cast<std::uint8_t>(n);
 }
 
 FlightRecorder::FlightRecorder(std::size_t capacity)

@@ -19,6 +19,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -37,6 +38,7 @@ enum class SpanKind : std::uint8_t {
   kVerify,    // token-cache miss verification window
   kDeliver,   // end-to-end delivery at the destination host
   kTxn,       // one VMTP request/response transaction
+  kSample,    // flow sampler captured this packet (instant, with excerpt)
 };
 
 /// How the router's token admission resolved for this hop.
@@ -55,6 +57,10 @@ enum class TokenOutcome : std::uint8_t {
 /// One traced event.  Fixed size, trivially copyable; the component name
 /// is truncated into an inline buffer so recording never allocates.
 struct SpanRecord {
+  /// Header-excerpt capacity for kSample spans (enough for a link header
+  /// plus the fixed part of a VIPER segment).
+  static constexpr std::size_t kExcerptSize = 16;
+
   std::uint64_t trace_id = 0;
   std::uint32_t hop = 0;  // position along the route (Packet::hops)
   SpanKind kind = SpanKind::kHop;
@@ -67,9 +73,13 @@ struct SpanRecord {
   sim::Time end = 0;          // e.g. earliest forward / departure time
   sim::Time queue_delay = 0;  // time spent queued, when known
   std::array<char, 24> component{};  // NUL-terminated node/port name
+  std::uint8_t excerpt_len = 0;      // kSample: captured header bytes
+  std::array<std::uint8_t, kExcerptSize> excerpt{};
 
   void set_component(std::string_view name);
   [[nodiscard]] std::string_view component_view() const;
+  /// Copies up to kExcerptSize bytes of @p header into the span.
+  void set_excerpt(std::span<const std::uint8_t> header);
 };
 
 /// Bounded lock-free span ring ("flight recorder").  Capacity is rounded
@@ -110,16 +120,20 @@ class FlightRecorder {
   std::atomic<std::uint64_t> head_{0};
 };
 
-/// The pair of sinks a component needs to be observable.  Either pointer
-/// may be null (metrics without tracing, or vice versa); components cache
-/// the handles they need at set_observer() time so the per-packet cost of
-/// a disabled observer is one branch on a null pointer.
+class FlowSink;  // obs/flow_sink.hpp
+
+/// The sinks a component needs to be observable.  Any pointer may be null
+/// (metrics without tracing, tracing without flow accounting, ...);
+/// components cache the handles they need at set_observer() time so the
+/// per-packet cost of a disabled observer is one branch on a null pointer.
 struct Observer {
   stats::Registry* registry = nullptr;
   FlightRecorder* recorder = nullptr;
+  FlowSink* flow = nullptr;  ///< flow accounting plane (obs/flow_sink.hpp)
 
   [[nodiscard]] bool has_metrics() const { return registry != nullptr; }
   [[nodiscard]] bool has_tracing() const { return recorder != nullptr; }
+  [[nodiscard]] bool has_flow() const { return flow != nullptr; }
 };
 
 }  // namespace srp::obs

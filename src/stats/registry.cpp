@@ -71,8 +71,11 @@ HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot snap;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     snap.buckets[i] = counts_[i].load(std::memory_order_relaxed);
-    snap.count += snap.buckets[i];
   }
+  // Read the dedicated total, not a sum over the bucket reads: the
+  // exporters publish count/sum as the authoritative pair, and recomputing
+  // count from racing per-bucket loads could disagree with sum.
+  snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum_.load(std::memory_order_relaxed);
   return snap;
 }

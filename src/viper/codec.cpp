@@ -1,6 +1,7 @@
 #include "viper/codec.hpp"
 
 #include "check/contract.hpp"
+#include "crypto/siphash.hpp"
 
 namespace srp::viper {
 namespace {
@@ -164,6 +165,35 @@ DeliveredBody decode_delivered_body(wire::Reader& r) {
   }
   body.data = std::move(rest);
   return body;
+}
+
+std::uint64_t route_digest(const core::SourceRoute& route) {
+  // Serialize the token-free shape of the route and SipHash it under a
+  // fixed key: the digest must be identical for every packet sent down
+  // the same path, while distinct paths should collide only by accident.
+  wire::Writer w(route.hops() * 8);
+  for (const auto& seg : route.segments) {
+    w.u8(seg.port);
+    w.u8(static_cast<std::uint8_t>((seg.tos.priority & 0x0F) |
+                                   (seg.tos.drop_if_blocked ? 0x10 : 0)));
+    w.u8(static_cast<std::uint8_t>((seg.flags.vnt ? 0x8 : 0) |
+                                   (seg.flags.dib ? 0x4 : 0) |
+                                   (seg.flags.rpf ? 0x2 : 0) |
+                                   (seg.flags.trm ? 0x1 : 0)));
+    if (seg.port_info.size() > 0xFF) {
+      w.u8(0xFF);
+      w.u32(static_cast<std::uint32_t>(seg.port_info.size()));
+    } else {
+      w.u8(static_cast<std::uint8_t>(seg.port_info.size()));
+    }
+    w.bytes(seg.port_info);
+  }
+  static constexpr crypto::SipKey kRouteDigestKey{0x53495250454E5421ULL,
+                                                  0x464C4F574B455921ULL};
+  const auto digest = crypto::siphash24(kRouteDigestKey, w.view());
+  // 0 means "unattributed" in flow accounting; dodge the (astronomically
+  // unlikely) collision so real routes are always attributable.
+  return digest == 0 ? 1 : digest;
 }
 
 }  // namespace srp::viper

@@ -79,4 +79,10 @@ struct DeliveredBody {
 /// (if it survived) is in `trailer`.
 DeliveredBody decode_delivered_body(wire::Reader& r);
 
+/// Stable 64-bit digest of a source route's *path* — per-segment port,
+/// priority, flags and port_info, excluding tokens — so the same physical
+/// route hashes identically no matter which tokens were minted for it.
+/// Used as the flow-accounting key (obs::FlowSample::route_digest).
+std::uint64_t route_digest(const core::SourceRoute& route);
+
 }  // namespace srp::viper

@@ -45,6 +45,7 @@ void ViperHost::set_observer(const obs::Observer& observer) {
     obs_e2e_latency_ = nullptr;
   }
   obs_recorder_ = observer.recorder;
+  stamp_route_digest_ = observer.flow != nullptr;
   for (int p = 1; p <= port_count(); ++p) port(p).set_observer(observer);
 }
 
@@ -64,6 +65,10 @@ std::uint64_t ViperHost::send(const core::SourceRoute& route,
   // Mint the trace context at the origin: the packet id is already unique
   // per simulation, so it doubles as the trace id.
   if (obs_recorder_ != nullptr) packet->trace_id = id;
+  // Flow accounting on: stamp the whole-route identity at the origin (the
+  // only place that still sees the full source route); it rides the
+  // packet's measurement side-band, constant along the path.
+  if (stamp_route_digest_) packet->route_digest = route_digest(route);
   ++stats_.sent;
   core::TypeOfService tos = options.tos;
   port(options.out_port)

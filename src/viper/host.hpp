@@ -117,6 +117,9 @@ class ViperHost : public net::PortedNode {
   // Observability handles, resolved once by set_observer(); null = off.
   stats::Histogram* obs_e2e_latency_ = nullptr;
   obs::FlightRecorder* obs_recorder_ = nullptr;
+  /// Flow accounting wired: send() stamps Packet::route_digest so routers
+  /// along the path can attribute the packet to its source route.
+  bool stamp_route_digest_ = false;
 };
 
 }  // namespace srp::viper

@@ -142,12 +142,40 @@ void ViperRouter::set_observer(const obs::Observer& observer) {
     token_cache_.set_occupancy_gauge(nullptr);
   }
   obs_recorder_ = observer.recorder;
+  // Resolve this router's scoped flow observer once: the forward path then
+  // pays a single untaken null branch when flow accounting is off.
+  obs_flow_ =
+      observer.flow != nullptr ? &observer.flow->scoped(name()) : nullptr;
   for (int p = 1; p <= port_count(); ++p) port(p).set_observer(observer);
 }
 
 void ViperRouter::count_token_outcome(obs::TokenOutcome outcome) {
   stats::Counter* c = obs_token_counters_[static_cast<std::size_t>(outcome)];
   if (c != nullptr) c->add();
+}
+
+void ViperRouter::record_flow(const net::Arrival& arrival,
+                              const ParsedFront& front, int out_port,
+                              const wire::Bytes& bytes, bool cut_through,
+                              std::uint32_t account, sim::Time now) {
+  obs::FlowSample sample;
+  sample.route_digest = arrival.packet->route_digest;
+  sample.packet_id = arrival.packet->id;
+  sample.trace_id = arrival.packet->trace_id;
+  sample.account = account;
+  sample.tos_class = front.segment.tos.priority;
+  sample.cut_through = cut_through;
+  sample.in_port = static_cast<std::uint16_t>(arrival.in_port);
+  sample.out_port = static_cast<std::uint16_t>(out_port);
+  // The admitted byte count — the same value admit_token charged, which
+  // is what makes per-account roll-ups reconcile with the ledger.
+  sample.bytes = static_cast<std::uint32_t>(bytes.size());
+  sample.now = now;
+  // Link header + first segment, exactly as received: the excerpt source
+  // for sampled-packet capture.
+  sample.header =
+      std::span(bytes).first(std::min(front.consumed, bytes.size()));
+  obs_flow_->on_forward(sample);
 }
 
 void ViperRouter::on_arrival(const net::Arrival& arrival) {
@@ -361,8 +389,12 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
       count_token_outcome(obs::TokenOutcome::kRejected);
       return std::nullopt;
     }
+    if (obs_flow_ != nullptr) {
+      obs_flow_->on_charge(entry->body.account, packet_bytes);
+    }
     count_token_outcome(obs::TokenOutcome::kHit);
-    return TokenDecision{0, entry->body.reverse_ok, obs::TokenOutcome::kHit};
+    return TokenDecision{0, entry->body.reverse_ok, obs::TokenOutcome::kHit,
+                         entry->body.account};
   }
 
   // Miss: start the (slow) verification exactly once per token value.
@@ -390,7 +422,12 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
       if (e.valid && config_.uncached_policy ==
                          tokens::UncachedPolicy::kOptimistic) {
         // The optimistically forwarded first packet is charged now.
-        token_cache_.charge(token_copy, first_packet_bytes, *ledger_);
+        const auto charged =
+            token_cache_.charge(token_copy, first_packet_bytes, *ledger_);
+        if (charged == tokens::TokenCache::ChargeResult::kCharged &&
+            obs_flow_ != nullptr) {
+          obs_flow_->on_charge(e.body.account, first_packet_bytes);
+        }
       }
     });
   }
@@ -519,6 +556,10 @@ void ViperRouter::forward(const net::Arrival& arrival,
     obs_hop_latency_->record(
         static_cast<std::uint64_t>(timing.earliest - arrival.head));
   }
+  if (obs_flow_ != nullptr) {
+    record_flow(arrival, front, physical_port, bytes, timing.cut_through,
+                decision->account, timing.earliest);
+  }
   if (obs_recorder_ != nullptr && derived->trace_id != 0) {
     obs::SpanRecord span;
     span.trace_id = derived->trace_id;
@@ -558,6 +599,12 @@ void ViperRouter::forward_into_tunnel(const net::Arrival& arrival,
   if (obs_hop_latency_ != nullptr) {
     obs_hop_latency_->record(
         static_cast<std::uint64_t>(arrival.tail - arrival.head));
+  }
+  if (obs_flow_ != nullptr) {
+    // Tunnel hops are store-and-forward by construction.
+    record_flow(arrival, front, front.segment.port, bytes,
+                /*cut_through=*/false, decision->account,
+                std::max(arrival.tail, sim_.now()));
   }
   if (obs_recorder_ != nullptr && arrival.packet->trace_id != 0) {
     // Tunnel hops are store-and-forward by construction; the span closes

@@ -33,6 +33,7 @@
 #include "core/trailer.hpp"
 #include "net/ethernet.hpp"
 #include "net/network.hpp"
+#include "obs/flow_sink.hpp"
 #include "obs/recorder.hpp"
 #include "sim/time.hpp"
 #include "tokens/cache.hpp"
@@ -174,9 +175,12 @@ class ViperRouter : public net::PortedNode {
   /// `tokens.<name>.cache_entries` gauge, and — when a recorder is
   /// present — one kHop span per forwarded traced packet capturing the
   /// arrival / switch-decision / earliest-forward times, the cut-through
-  /// vs store-and-forward choice and the token outcome.  All handles are
-  /// resolved here once; an unobserved router pays one untaken branch per
-  /// instrumentation point.  Call set_observer after the last add_port().
+  /// vs store-and-forward choice and the token outcome.  When the observer
+  /// carries a flow sink, every forwarded packet additionally publishes an
+  /// obs::FlowSample (flow accounting + sampled capture) and every ledger
+  /// charge is mirrored to the sink.  All handles are resolved here once;
+  /// an unobserved router pays one untaken branch per instrumentation
+  /// point.  Call set_observer after the last add_port().
   void set_observer(const obs::Observer& observer);
 
   void set_control_handler(ControlHandler handler) {
@@ -239,6 +243,7 @@ class ViperRouter : public net::PortedNode {
     sim::Time extra_delay = 0;
     bool reversible = false;
     obs::TokenOutcome outcome = obs::TokenOutcome::kNone;
+    std::uint32_t account = 0;  ///< charged account (cache hits only)
   };
   std::optional<TokenDecision> admit_token(const core::HeaderSegment& seg,
                                            int physical_port,
@@ -277,10 +282,17 @@ class ViperRouter : public net::PortedNode {
   Shaper shaper_;
   Stats stats_;
 
+  /// Publishes one obs::FlowSample for a forwarded packet, when a flow
+  /// sink is wired.
+  void record_flow(const net::Arrival& arrival, const ParsedFront& front,
+                   int out_port, const wire::Bytes& bytes, bool cut_through,
+                   std::uint32_t account, sim::Time now);
+
   // Observability handles, resolved once by set_observer(); null = off.
   stats::Histogram* obs_hop_latency_ = nullptr;
   std::array<stats::Counter*, 6> obs_token_counters_{};  // by TokenOutcome
   obs::FlightRecorder* obs_recorder_ = nullptr;
+  obs::FlowSink* obs_flow_ = nullptr;  // scoped to this router's name
 };
 
 /// 8-byte local endpoint id carried in a port-0 segment's portInfo.

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -26,6 +27,8 @@
 #include "directory/client.hpp"
 #include "directory/fabric.hpp"
 #include "fault/engine.hpp"
+#include "flow/observer.hpp"
+#include "flow/plane.hpp"
 #include "obs/recorder.hpp"
 #include "test_util.hpp"
 #include "transport/vmtp.hpp"
@@ -56,9 +59,12 @@ struct ChaosOutcome {
 };
 
 /// Runs the full chaos scenario.  The world is built from scratch each
-/// call so reruns share no state but the seed.
+/// call so reruns share no state but the seed.  @p inspect, when set, sees
+/// the drained fabric before teardown (for cross-checking external planes
+/// against fabric-owned state like the ledger).
 ChaosOutcome run_chaos(std::uint64_t seed,
-                       const obs::Observer& observer = {}) {
+                       const obs::Observer& observer = {},
+                       const std::function<void(dir::Fabric&)>& inspect = {}) {
   sim::Simulator sim;
   dir::Fabric fabric(sim);
   auto& client_host = fabric.add_host("client.chaos");
@@ -191,6 +197,7 @@ ChaosOutcome run_chaos(std::uint64_t seed,
     EXPECT_TRUE(
         std::isinf(throttle->rate(cc::FlowKey{fabric.id_of(r1), 2})));
   }
+  if (inspect) inspect(fabric);
   return outcome;
 }
 
@@ -236,6 +243,45 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSuite,
 
 TEST(ChaosReplay, SameSeedYieldsByteIdenticalStats) {
   test::expect_deterministic([] { return run_chaos(0x5EED); });
+}
+
+TEST(ChaosFlowAccounting, RollupsReconcileWithLedgerUnderChaos) {
+  // The flow plane's per-account roll-up mirrors every ledger charge, so
+  // even with drops, corruption, duplication, flaps and token poisoning it
+  // must equal the authoritative ledger exactly — and byte-identically on
+  // replay of the same seed.
+  auto scenario = [] {
+    flow::FlowPlane plane(flow::FlowConfig{256, 64, 0x5EED});
+    Digest digest;
+    const ChaosOutcome outcome =
+        run_chaos(42, obs::Observer{nullptr, nullptr, &plane},
+                  [&](dir::Fabric& fabric) {
+                    const auto rollup = plane.account_rollup();
+                    const auto ledger = fabric.ledger().all();
+                    EXPECT_FALSE(ledger.empty());
+                    EXPECT_EQ(rollup.size(), ledger.size());
+                    for (const auto& [account, usage] : ledger) {
+                      const auto it = rollup.find(account);
+                      ASSERT_NE(it, rollup.end()) << "account " << account;
+                      EXPECT_EQ(it->second.packets, usage.packets)
+                          << "account " << account;
+                      EXPECT_EQ(it->second.bytes, usage.bytes)
+                          << "account " << account;
+                      digest["ledger." + std::to_string(account) + ".bytes"] =
+                          usage.bytes;
+                      digest["flow." + std::to_string(account) + ".bytes"] =
+                          it->second.bytes;
+                    }
+                  });
+    EXPECT_GT(outcome.ok, 0);
+    // Every router's table really observed traffic.
+    for (const auto* observer : plane.observers()) {
+      EXPECT_GT(observer->table().stats().recorded, 0u) << observer->name();
+    }
+    digest["chaos.ok"] = static_cast<std::uint64_t>(outcome.ok);
+    return digest;
+  };
+  test::expect_deterministic(scenario);
 }
 
 TEST(ChaosObservability, SpanTimelinesStayCoherentUnderChaos) {

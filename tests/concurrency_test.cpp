@@ -19,6 +19,7 @@
 #include "check/sync.hpp"
 #include "directory/fabric.hpp"
 #include "exec/worker_pool.hpp"
+#include "flow/table.hpp"
 #include "obs/recorder.hpp"
 #include "stats/registry.hpp"
 #include "test_util.hpp"
@@ -172,6 +173,41 @@ TEST(StatsRegistry, ConcurrentGaugesAndHistogramsStress) {
   std::uint64_t total = 0;
   for (const auto bucket : snap.buckets) total += bucket;
   EXPECT_EQ(total, lat.count());
+}
+
+TEST(FlowTableConcurrency, RecordAndReadStress) {
+  // Writers hammer record() — some keys shared across threads, some
+  // per-thread churn forcing space-saving evictions — while readers pull
+  // top()/all()/stats() snapshots.  TSan/annotalysis guard the locking;
+  // the accounting identity (total_bytes = sum of every record() call)
+  // must survive the contention exactly.
+  flow::FlowTable table(32);
+  hammer([&table](int t) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const bool shared = i % 4 != 0;
+      const flow::FlowKey key{
+          shared ? 0x5EEDull + static_cast<std::uint64_t>(i % 8)
+                 : 0x1000ull * static_cast<std::uint64_t>(t) + i,
+          static_cast<std::uint32_t>(t), 0};
+      table.record(key, 100, i % 2 == 0, i, 1, 2);
+      if (i % 64 == 0) {
+        (void)table.top(4);
+        (void)table.all();
+      }
+    }
+  });
+  const auto stats = table.stats();
+  EXPECT_EQ(stats.recorded,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.total_bytes,
+            100ull * kThreads * kOpsPerThread);
+  EXPECT_LE(table.size(), table.capacity());
+  // Overestimate-only: monitored counts can exceed the truth by at most
+  // the inherited error, never undercount.
+  for (const auto& record : table.all()) {
+    EXPECT_GE(record.bytes, record.error_bytes);
+    EXPECT_GE(record.packets, record.error_packets);
+  }
 }
 
 TEST(FlightRecorder, ConcurrentRecordStress) {

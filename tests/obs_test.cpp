@@ -252,6 +252,19 @@ std::vector<obs::SpanRecord> fixture_spans() {
   deliver.queue_delay = 4'000;
   deliver.set_component("dst.obs");
   spans.push_back(deliver);
+
+  obs::SpanRecord sample;
+  sample.trace_id = 7;
+  sample.hop = 1;
+  sample.kind = obs::SpanKind::kSample;
+  sample.cut_through = true;
+  sample.in_port = 1;
+  sample.out_port = 2;
+  sample.start = sample.decision = sample.end = 1'400'000;
+  sample.set_component("r2");
+  const std::uint8_t header[] = {0x53, 0x52, 0x50, 0x01, 0x02, 0x7F};
+  sample.set_excerpt(header);
+  spans.push_back(sample);
   return spans;
 }
 
@@ -273,6 +286,14 @@ TEST(Exporter, PrometheusBucketsAreCumulative) {
   EXPECT_NE(text.find("viper_r1_hop_latency_ps_bucket{le=\"+Inf\"} 4"),
             std::string::npos);
   EXPECT_NE(text.find("viper_r1_hop_latency_ps_count 4"), std::string::npos);
+}
+
+TEST(Exporter, JsonHistogramCountAndSumMatchRecords) {
+  // count comes from the histogram's dedicated total, not a re-sum of the
+  // racing bucket reads; sum is the exact sum of recorded values.
+  const auto json = obs::to_json(fixture_snapshot());
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 5000901"), std::string::npos);
 }
 
 TEST(Exporter, EmptySnapshotsAreWellFormed) {
