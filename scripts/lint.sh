@@ -25,8 +25,11 @@ find_tool() {
     echo "${base}"
     return 0
   fi
+  # Version-aware sort: `sort -t- -k3 -n` keyed on the third dash field,
+  # which is empty for two-field names like clang-18 (the base name's own
+  # dash count varies), silently picking an arbitrary candidate.
   candidate="$(compgen -c "${base}-" 2>/dev/null | grep -E "^${base}-[0-9]+$" |
-               sort -t- -k3 -n | tail -1 || true)"
+               sort -V | tail -1 || true)"
   if [[ -n "${candidate}" ]]; then
     echo "${candidate}"
     return 0
@@ -76,6 +79,23 @@ if clangxx="$(find_tool clang++)"; then
   fi
 else
   missing_tool clang++
+fi
+
+# --- srp-lint (project invariant passes) ----------------------------------
+# Pure Python, no toolchain dependency: determinism, hot-path allocation,
+# lock-order and metric-name contracts (scripts/srp_lint.py, DESIGN.md §9).
+if command -v python3 >/dev/null 2>&1; then
+  echo "lint.sh: running srp-lint invariant passes"
+  if ! python3 "${repo_root}/scripts/srp_lint.py" --self-test >/dev/null; then
+    echo "lint.sh: srp-lint self-test failed" >&2
+    status=1
+  fi
+  if ! python3 "${repo_root}/scripts/srp_lint.py"; then
+    echo "lint.sh: srp-lint reported findings" >&2
+    status=1
+  fi
+else
+  missing_tool python3
 fi
 
 # --- clang-format (check only, no reformat) -------------------------------

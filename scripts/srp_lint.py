@@ -1,0 +1,820 @@
+#!/usr/bin/env python3
+"""srp-lint: project-specific invariant passes for the Sirpent tree.
+
+Four passes over the C++ sources, each enforcing a contract that generic
+linters cannot know about (DESIGN.md section 9):
+
+  determinism     Simulation-visible code must be bit-reproducible: no
+                  wall-clock reads, no ambient randomness, no iteration
+                  over unordered containers (lookups are fine), no
+                  hashing of pointer values.  Exemption: wrap the
+                  statement in SRP_ORDER_OK(...) or precede it with an
+                  `// SRP_ORDER_OK(reason)` comment (e.g. when the
+                  iteration feeds a sort).  src/check/ is excluded: the
+                  contract/lock-tracker infrastructure is diagnostic
+                  machinery, not simulation-visible state.
+
+  hotpath-alloc   Functions marked SRP_HOT_PATH (check/analysis.hpp)
+                  must not allocate in their own bodies: no new/malloc,
+                  no make_shared/make_unique, no growing-container
+                  calls, no wire::Writer construction, no sim event
+                  scheduling (std::function capture allocation).
+                  Exemption: SRP_ALLOC_OK(expr) or a preceding
+                  `// SRP_ALLOC_OK(reason)` comment, which blesses the
+                  next statement.
+
+  lock-order      Extracts the lexical srp::MutexLock nesting graph
+                  (which mutex is acquired while which is held, per
+                  function) and fails on cycles.  The runtime twin
+                  (check/lock_order.hpp) catches inversions that nest
+                  through calls; this pass catches same-function
+                  inversions before the code ever runs.
+
+  metric-names    Every string handed to stats::Registry counter() /
+                  gauge() / histogram() must match the
+                  `component.instance.metric` contract: 2..5 dot
+                  separated segments of [A-Za-z0-9_-].  Runtime
+                  fragments (variables, metric_component(...) calls)
+                  count as exactly one segment, mirroring what
+                  metric_component() guarantees at runtime.
+
+The engine is a deliberate deviation from the original libclang plan:
+this container carries no clang binaries and no libclang Python
+bindings, and the repo rule is to never pip-install into CI.  The
+passes therefore run on a comment/string-aware lexical scan.  That
+trades some precision (member identity is name-based: a member ending
+in `_` declared unordered anywhere in the tree is treated as unordered
+everywhere) for zero dependencies — acceptable because the tree's
+naming discipline is itself a checked convention.  When a
+compile_commands.json is present (any build dir), the translation-unit
+list is taken from it so generated/out-of-tree sources are covered.
+
+Usage:
+  python3 scripts/srp_lint.py                 # lint src/ (the default)
+  python3 scripts/srp_lint.py --self-test     # run fixture self-checks
+  python3 scripts/srp_lint.py path1 path2 ... # lint specific files/dirs
+
+Exit codes: 0 clean, 1 findings, 2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CXX_SUFFIXES = (".cpp", ".cc", ".cxx", ".hpp", ".h")
+
+
+# ---------------------------------------------------------------------------
+# Source model: comment/string-aware scan
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SourceFile:
+    """One parsed source file.
+
+    `code` is the original text with comment bodies and string/char
+    literal contents replaced by spaces (newlines preserved), so byte
+    offsets and line numbers match the original.  Literal contents are
+    kept separately for the metric-name pass; comment texts are kept
+    for the SRP_*_OK comment exemptions.
+    """
+
+    path: str
+    text: str
+    code: str = ""
+    # offset -> literal content, for each "..." string literal
+    strings: Dict[int, str] = field(default_factory=dict)
+    # line number (1-based) -> comment text, for comments on that line
+    comments: Dict[int, str] = field(default_factory=dict)
+
+    def line_of(self, offset: int) -> int:
+        return self.text.count("\n", 0, offset) + 1
+
+
+def parse_source(path: str, text: str) -> SourceFile:
+    src = SourceFile(path=path, text=text)
+    out: List[str] = []
+    i, n = 0, len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            out.append(c)
+            i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            src.comments[line] = src.comments.get(line, "") + text[i:j]
+            out.append("  " + " " * (j - i - 2))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            body = text[i:j]
+            src.comments[line] = src.comments.get(line, "") + body
+            for ch in body:
+                out.append("\n" if ch == "\n" else " ")
+                if ch == "\n":
+                    line += 1
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            if quote == '"':
+                src.strings[i] = text[i + 1 : j - 1]
+            out.append(quote)
+            for ch in text[i + 1 : j - 1]:
+                out.append("\n" if ch == "\n" else " ")
+                if ch == "\n":
+                    line += 1
+            if j - i >= 2:
+                out.append(quote)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    src.code = "".join(out)
+    assert len(src.code) == len(text)
+    return src
+
+
+@dataclass
+class Finding:
+    pass_name: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.pass_name}] {self.message}"
+
+
+def match_paren(code: str, open_index: int) -> int:
+    """Index just past the parenthesis group opening at open_index."""
+    depth = 0
+    for i in range(open_index, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def match_brace(code: str, open_index: int) -> int:
+    depth = 0
+    for i in range(open_index, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def preprocessor_lines(code: str) -> Set[int]:
+    """1-based line numbers occupied by preprocessor directives."""
+    lines: Set[int] = set()
+    for lineno, raw in enumerate(code.split("\n"), start=1):
+        stripped = raw.lstrip()
+        if stripped.startswith("#"):
+            lines.add(lineno)
+            # crude continuation handling
+            j = lineno
+            while raw.rstrip().endswith("\\"):
+                j += 1
+                lines.add(j)
+                parts = code.split("\n")
+                raw = parts[j - 1] if j - 1 < len(parts) else ""
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Exemption bookkeeping (SRP_ALLOC_OK / SRP_ORDER_OK)
+# ---------------------------------------------------------------------------
+
+def macro_exempt_ranges(src: SourceFile, macro: str) -> List[Tuple[int, int]]:
+    """Offset ranges covered by macro(...) wrappers."""
+    ranges = []
+    for m in re.finditer(rf"\b{macro}\s*\(", src.code):
+        open_index = src.code.index("(", m.start())
+        ranges.append((m.start(), match_paren(src.code, open_index)))
+    return ranges
+
+
+def comment_exempt_lines(src: SourceFile, macro: str) -> Set[int]:
+    """Lines blessed by an `// MACRO(reason)` comment.
+
+    The comment blesses from the following line through the end of the
+    next statement: the first `;` at the brace depth where that
+    statement starts (so a multi-line lambda argument stays covered).
+    """
+    blessed: Set[int] = set()
+    line_starts = [0]
+    for i, c in enumerate(src.code):
+        if c == "\n":
+            line_starts.append(i + 1)
+
+    for comment_line, body in sorted(src.comments.items()):
+        if macro not in body:
+            continue
+        start_line = comment_line + 1
+        if start_line > len(line_starts):
+            continue
+        start = line_starts[start_line - 1]
+        depth = 0
+        end = len(src.code)
+        started = False
+        for i in range(start, len(src.code)):
+            c = src.code[i]
+            if not started and not c.isspace():
+                started = True
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+            elif c == ";" and depth <= 0 and started:
+                end = i
+                break
+        end_line = src.line_of(min(end, len(src.code) - 1)) if src.code else start_line
+        blessed.update(range(start_line, end_line + 1))
+    return blessed
+
+
+def is_exempt(src: SourceFile, offset: int, macro: str,
+              macro_ranges: List[Tuple[int, int]],
+              comment_lines: Set[int]) -> bool:
+    if any(a <= offset < b for a, b in macro_ranges):
+        return True
+    return src.line_of(offset) in comment_lines
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: determinism
+# ---------------------------------------------------------------------------
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+    r"|gettimeofday|clock_gettime|::time\s*\(|std::time\s*\("
+    r"|localtime|gmtime)\b"
+)
+RANDOMNESS_RE = re.compile(
+    r"\b(?:std::random_device|random_device\s*\{|\bsrand\s*\(|[^:\w]rand\s*\()"
+)
+POINTER_HASH_RE = re.compile(r"\bstd::hash\s*<[^>;{}]*\*")
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(map|set)\s*<")
+
+
+def collect_unordered_members(sources: Sequence[SourceFile]) -> Set[str]:
+    """Names (ending in `_`) of members declared as unordered containers."""
+    members: Set[str] = set()
+    for src in sources:
+        for m in UNORDERED_DECL_RE.finditer(src.code):
+            open_angle = src.code.index("<", m.start())
+            depth = 0
+            i = open_angle
+            while i < len(src.code):
+                if src.code[i] == "<":
+                    depth += 1
+                elif src.code[i] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            tail = src.code[i + 1 : i + 200]
+            name = re.match(r"\s*(\w+_)\b", tail)
+            if name:
+                members.add(name.group(1))
+    return members
+
+
+def pass_determinism(sources: Sequence[SourceFile],
+                     unordered_members: Set[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    for src in sources:
+        rel = os.path.relpath(src.path, REPO_ROOT)
+        if rel.startswith(os.path.join("src", "check") + os.sep):
+            continue  # diagnostic infrastructure, not sim-visible
+        pp = preprocessor_lines(src.code)
+        order_ranges = macro_exempt_ranges(src, "SRP_ORDER_OK")
+        order_lines = comment_exempt_lines(src, "SRP_ORDER_OK")
+
+        def exempt(offset: int) -> bool:
+            return (src.line_of(offset) in pp
+                    or is_exempt(src, offset, "SRP_ORDER_OK", order_ranges,
+                                 order_lines))
+
+        for m in WALL_CLOCK_RE.finditer(src.code):
+            if exempt(m.start()):
+                continue
+            findings.append(Finding(
+                "determinism", src.path, src.line_of(m.start()),
+                f"wall-clock read `{m.group(0).strip()}` — simulation time "
+                "comes only from sim::Simulator"))
+        for m in RANDOMNESS_RE.finditer(src.code):
+            if exempt(m.start()):
+                continue
+            findings.append(Finding(
+                "determinism", src.path, src.line_of(m.start()),
+                f"ambient randomness `{m.group(0).strip()}` — use a seeded "
+                "sim::Rng stream"))
+        for m in POINTER_HASH_RE.finditer(src.code):
+            if exempt(m.start()):
+                continue
+            findings.append(Finding(
+                "determinism", src.path, src.line_of(m.start()),
+                "std::hash over a pointer value — addresses vary across "
+                "runs; hash a stable id instead"))
+        # Pointer-keyed unordered containers iterate in address order.
+        for m in UNORDERED_DECL_RE.finditer(src.code):
+            open_angle = src.code.index("<", m.start())
+            first_arg = src.code[open_angle + 1 :
+                                 src.code.find(",", open_angle + 1)
+                                 if "," in src.code[open_angle:open_angle + 120]
+                                 else open_angle + 80]
+            if "*" in first_arg.split("<")[0] and not exempt(m.start()):
+                findings.append(Finding(
+                    "determinism", src.path, src.line_of(m.start()),
+                    "unordered container keyed by pointer — key by a "
+                    "stable id, or use an ordered container"))
+
+        # Iteration over unordered members: range-for and .begin().
+        for member in unordered_members:
+            for m in re.finditer(
+                    rf"\bfor\s*\([^;()]*:\s*(?:\w+(?:\.|->))?{member}\s*\)",
+                    src.code):
+                if exempt(m.start()):
+                    continue
+                findings.append(Finding(
+                    "determinism", src.path, src.line_of(m.start()),
+                    f"iteration over unordered member `{member}` — bucket "
+                    "order is not deterministic; iterate a sorted view or "
+                    "annotate SRP_ORDER_OK with a reason"))
+            for m in re.finditer(rf"\b{member}\s*\.\s*c?begin\s*\(", src.code):
+                if exempt(m.start()):
+                    continue
+                findings.append(Finding(
+                    "determinism", src.path, src.line_of(m.start()),
+                    f"`{member}.begin()` on an unordered member — element "
+                    "order is not deterministic; select by sorted key or "
+                    "annotate SRP_ORDER_OK"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: hot-path allocation
+# ---------------------------------------------------------------------------
+
+ALLOC_PATTERNS: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"\bnew\b(?!\s*\()"), "operator new"),
+    (re.compile(r"\bnew\s*\("), "placement/operator new"),
+    (re.compile(r"\b(?:malloc|calloc|realloc|strdup)\s*\("), "C allocation"),
+    (re.compile(r"\bmake_(?:shared|unique)\s*<"), "make_shared/make_unique"),
+    (re.compile(r"(?:\.|->)\s*(push_back|emplace_back|emplace|insert|resize"
+                r"|reserve|append|assign)\s*\("), "growing-container call"),
+    (re.compile(r"\bwire::Writer\b|\bWriter\s+\w+\s*\("),
+     "wire::Writer construction"),
+    (re.compile(r"\bsim_?\w*\s*(?:\.|->)\s*(?:after|at)\s*\("),
+     "sim event scheduling (std::function capture)"),
+]
+
+
+@dataclass
+class FunctionBody:
+    path: str
+    qualified_name: str
+    class_name: str
+    start: int  # offset of opening brace
+    end: int    # offset just past closing brace
+    hot: bool
+
+
+FUNC_SIG_RE = re.compile(
+    r"(?:^|[;}{])\s*((?:[\w:<>,&*~\s]|::)*?)\b(\w+(?:::\w+)*)\s*\(",
+    re.MULTILINE)
+
+
+def extract_functions(src: SourceFile) -> List[FunctionBody]:
+    """Find function definitions lexically.
+
+    Walks `name(...)` groups at namespace/class scope and checks whether
+    a `{` follows the parameter list (possibly after const/noexcept/
+    -> T / attribute tails).  Control-flow keywords are filtered out.
+    """
+    out: List[FunctionBody] = []
+    code = src.code
+    keywords = {"if", "for", "while", "switch", "return", "catch", "sizeof",
+                "defined", "alignof", "decltype", "static_assert", "assert"}
+    i = 0
+    while i < len(code):
+        m = re.compile(r"\b([A-Za-z_]\w*(?:::[A-Za-z_~]\w*)*)\s*\(").search(
+            code, i)
+        if not m:
+            break
+        name = m.group(1)
+        open_paren = code.index("(", m.end() - 1)
+        after_params = match_paren(code, open_paren)
+        if name.split("::")[-1] in keywords:
+            i = after_params
+            continue
+        # Scan the tail for `{` (definition), `;` (declaration) or
+        # something else (an expression call).
+        j = after_params
+        tail_ok = True
+        while j < len(code):
+            c = code[j]
+            if c.isspace():
+                j += 1
+            elif code.startswith("const", j) or code.startswith("noexcept", j) \
+                    or code.startswith("override", j) \
+                    or code.startswith("final", j):
+                j += 5 if c == "c" or code.startswith("final", j) else 8
+            elif code.startswith("->", j):
+                nxt = code.find("{", j)
+                semi = code.find(";", j)
+                if nxt < 0 or (0 <= semi < nxt):
+                    tail_ok = False
+                    break
+                j = nxt
+            elif c == "(":
+                j = match_paren(code, j)
+            elif c == ":":
+                # constructor initializer list: skip to the brace
+                nxt = code.find("{", j)
+                semi = code.find(";", j)
+                if nxt < 0 or (0 <= semi < nxt):
+                    tail_ok = False
+                    break
+                j = nxt
+            elif c == "{":
+                break
+            else:
+                tail_ok = False
+                break
+        if not tail_ok or j >= len(code) or code[j] != "{":
+            i = after_params
+            continue
+        end = match_brace(code, j)
+        # Look back for SRP_HOT_PATH between the previous statement
+        # boundary and the function name.
+        lookback = code[max(0, m.start() - 400) : m.start()]
+        boundary = max(lookback.rfind(";"), lookback.rfind("}"),
+                       lookback.rfind("{"))
+        window = lookback[boundary + 1 :]
+        hot = "SRP_HOT_PATH" in window
+        parts = name.split("::")
+        out.append(FunctionBody(
+            path=src.path, qualified_name=name,
+            class_name=parts[-2] if len(parts) >= 2 else "",
+            start=j, end=end, hot=hot))
+        i = after_params  # allow nested scans inside bodies (lambdas etc.)
+    return out
+
+
+def pass_hotpath_alloc(sources: Sequence[SourceFile]) -> List[Finding]:
+    findings: List[Finding] = []
+    for src in sources:
+        funcs = [f for f in extract_functions(src) if f.hot]
+        if not funcs:
+            continue
+        alloc_ranges = macro_exempt_ranges(src, "SRP_ALLOC_OK")
+        alloc_lines = comment_exempt_lines(src, "SRP_ALLOC_OK")
+        for fn in funcs:
+            body = src.code[fn.start : fn.end]
+            for pattern, what in ALLOC_PATTERNS:
+                for m in pattern.finditer(body):
+                    offset = fn.start + m.start()
+                    if is_exempt(src, offset, "SRP_ALLOC_OK", alloc_ranges,
+                                 alloc_lines):
+                        continue
+                    findings.append(Finding(
+                        "hotpath-alloc", src.path, src.line_of(offset),
+                        f"{what} `{m.group(0).strip()}` inside SRP_HOT_PATH "
+                        f"function `{fn.qualified_name}` — hoist it out or "
+                        "wrap in SRP_ALLOC_OK with a reason"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: lock-order cycles (lexical MutexLock nesting)
+# ---------------------------------------------------------------------------
+
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]([^)}]*)[)}]")
+
+
+def normalize_mutex(expr: str, class_name: str) -> str:
+    expr = expr.strip()
+    if re.fullmatch(r"\w+", expr) and class_name:
+        return f"{class_name}::{expr}"
+    return expr
+
+
+def pass_lock_order(sources: Sequence[SourceFile]) -> List[Finding]:
+    # edge -> (path, line) of the acquisition that created it
+    edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+    for src in sources:
+        for fn in extract_functions(src):
+            body = src.code[fn.start : fn.end]
+            acquisitions: List[Tuple[int, int, str]] = []  # (depth, off, id)
+            depth = 0
+            idx = 0
+            lock_iter = list(MUTEXLOCK_RE.finditer(body))
+            lock_pos = {m.start(): m for m in lock_iter}
+            for i, c in enumerate(body):
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    acquisitions = [a for a in acquisitions if a[0] <= depth]
+                if i in lock_pos:
+                    mutex_id = normalize_mutex(lock_pos[i].group(1),
+                                               fn.class_name)
+                    for _, _, held in acquisitions:
+                        if held != mutex_id:
+                            edges.setdefault(
+                                (held, mutex_id),
+                                (src.path, src.line_of(fn.start + i)))
+                    acquisitions.append((depth, i, mutex_id))
+    # cycle detection
+    graph: Dict[str, Set[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+    findings: List[Finding] = []
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    reported: Set[Tuple[str, str]] = set()
+
+    def dfs(node: str, stack: List[str]) -> None:
+        color[node] = GRAY
+        for succ in sorted(graph.get(node, ())):
+            if color.get(succ, WHITE) == GRAY:
+                cycle = stack[stack.index(succ):] + [succ] \
+                    if succ in stack else [node, succ]
+                key = (cycle[0], cycle[-1])
+                if key not in reported:
+                    reported.add(key)
+                    edge = edges.get((node, succ)) or next(iter(edges.values()))
+                    findings.append(Finding(
+                        "lock-order", edge[0], edge[1],
+                        "lock acquisition cycle: "
+                        + " -> ".join(cycle)))
+            elif color.get(succ, WHITE) == WHITE:
+                dfs(succ, stack + [succ])
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color.get(node, WHITE) == WHITE:
+            dfs(node, [node])
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: metric names
+# ---------------------------------------------------------------------------
+
+METRIC_CALL_RE = re.compile(r"(?:\.|->)\s*(counter|gauge|histogram)\s*\(")
+SEGMENT_RE = re.compile(r"[A-Za-z0-9_-]+")
+
+
+def candidate_names(src: SourceFile, arg_start: int, arg_end: int) -> List[str]:
+    """Expand the argument expression into candidate metric names.
+
+    Splits a top-level ternary into its branches; within a branch,
+    string literals contribute their text and any other top-level `+`
+    operand contributes a placeholder single segment.
+    """
+    code = src.code
+    # split on top-level ?: into branches
+    branches: List[Tuple[int, int]] = []
+    depth = 0
+    q = -1
+    for i in range(arg_start, arg_end):
+        c = code[i]
+        if c in "(<[":
+            depth += 1
+        elif c in ")>]":
+            depth -= 1
+        elif c == "?" and depth == 0:
+            q = i
+        elif c == ":" and depth == 0 and q >= 0 and code[i - 1] != ":" and \
+                (i + 1 >= len(code) or code[i + 1] != ":"):
+            branches = [(q + 1, i), (i + 1, arg_end)]
+            break
+    if not branches:
+        branches = [(arg_start, arg_end)]
+
+    names = []
+    for b_start, b_end in branches:
+        parts: List[str] = []
+        depth = 0
+        seg_start = b_start
+        spans: List[Tuple[int, int]] = []
+        for i in range(b_start, b_end):
+            c = code[i]
+            if c in "(<[":
+                depth += 1
+            elif c in ")>]":
+                depth -= 1
+            elif c == "+" and depth == 0:
+                spans.append((seg_start, i))
+                seg_start = i + 1
+        spans.append((seg_start, b_end))
+        for s, e in spans:
+            chunk = code[s:e].strip()
+            literal = None
+            for off, content in src.strings.items():
+                if s <= off < e:
+                    literal = content if literal is None else literal + content
+            if literal is not None:
+                parts.append(literal)
+            elif chunk:
+                parts.append("P")  # runtime fragment: one segment
+        names.append("".join(parts))
+    return names
+
+
+def valid_metric_name(name: str) -> bool:
+    segments = name.split(".")
+    if not 2 <= len(segments) <= 5:
+        return False
+    return all(seg and SEGMENT_RE.fullmatch(seg) for seg in segments)
+
+
+def pass_metric_names(sources: Sequence[SourceFile]) -> List[Finding]:
+    findings: List[Finding] = []
+    for src in sources:
+        for m in METRIC_CALL_RE.finditer(src.code):
+            open_paren = src.code.index("(", m.end() - 1)
+            close = match_paren(src.code, open_paren) - 1
+            arg = src.code[open_paren + 1 : close]
+            # Only metric registrations take a name: skip calls whose
+            # argument carries no string literal at all (e.g. gauge
+            # pointer plumbing like set_occupancy_gauge(nullptr)).
+            has_literal = any(open_paren < off < close for off in src.strings)
+            if not has_literal:
+                continue
+            for name in candidate_names(src, open_paren + 1, close):
+                if not valid_metric_name(name):
+                    shown = name.replace("P", "<runtime>")
+                    findings.append(Finding(
+                        "metric-names", src.path, src.line_of(m.start()),
+                        f"metric name `{shown}` violates the "
+                        "component.instance.metric contract (2..5 segments "
+                        "of [A-Za-z0-9_-])"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+PASSES = ("determinism", "hotpath-alloc", "lock-order", "metric-names")
+
+
+def run_passes(paths: Sequence[str],
+               only: Optional[Set[str]] = None) -> List[Finding]:
+    sources = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                sources.append(parse_source(path, fh.read()))
+        except OSError as err:
+            raise SystemExit(f"srp-lint: cannot read {path}: {err}")
+    selected = only or set(PASSES)
+    findings: List[Finding] = []
+    if "determinism" in selected:
+        members = collect_unordered_members(sources)
+        findings += pass_determinism(sources, members)
+    if "hotpath-alloc" in selected:
+        findings += pass_hotpath_alloc(sources)
+    if "lock-order" in selected:
+        findings += pass_lock_order(sources)
+    if "metric-names" in selected:
+        findings += pass_metric_names(sources)
+    findings.sort(key=lambda f: (f.path, f.line))
+    return findings
+
+
+def default_file_list() -> List[str]:
+    """Translation units from compile_commands.json when available,
+    plus every header/source under src/."""
+    files: Set[str] = set()
+    for build_dir in ("build", "build-debug", "build-asan"):
+        cc_path = os.path.join(REPO_ROOT, build_dir, "compile_commands.json")
+        if os.path.exists(cc_path):
+            try:
+                with open(cc_path) as fh:
+                    for entry in json.load(fh):
+                        f = os.path.normpath(
+                            os.path.join(entry.get("directory", ""),
+                                         entry.get("file", "")))
+                        if f.startswith(os.path.join(REPO_ROOT, "src")):
+                            files.add(f)
+            except (json.JSONDecodeError, OSError):
+                pass
+            break
+    src_root = os.path.join(REPO_ROOT, "src")
+    for dirpath, _, names in os.walk(src_root):
+        for name in names:
+            if name.endswith(CXX_SUFFIXES):
+                files.add(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def expand_paths(args: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for dirpath, _, names in os.walk(arg):
+                files += [os.path.join(dirpath, n) for n in names
+                          if n.endswith(CXX_SUFFIXES)]
+        else:
+            files.append(arg)
+    return sorted(set(files))
+
+
+def self_test() -> int:
+    """Each pass must flag its bad fixture and stay quiet on clean.cpp."""
+    fixture_dir = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+    cases = [
+        ("determinism", "determinism_bad.cpp", 3),
+        ("hotpath-alloc", "hotpath_alloc_bad.cpp", 2),
+        ("lock-order", "lock_cycle_bad.cpp", 1),
+        ("metric-names", "metric_name_bad.cpp", 2),
+    ]
+    failures = 0
+    for pass_name, fixture, min_findings in cases:
+        path = os.path.join(fixture_dir, fixture)
+        findings = [f for f in run_passes([path], only={pass_name})
+                    if f.pass_name == pass_name]
+        if len(findings) >= min_findings:
+            print(f"self-test PASS: {pass_name} flags {fixture} "
+                  f"({len(findings)} findings)")
+        else:
+            failures += 1
+            print(f"self-test FAIL: {pass_name} found {len(findings)} "
+                  f"findings in {fixture}, expected >= {min_findings}")
+            for f in findings:
+                print("  " + f.render())
+    clean = os.path.join(fixture_dir, "clean.cpp")
+    clean_findings = run_passes([clean])
+    if clean_findings:
+        failures += 1
+        print(f"self-test FAIL: clean.cpp produced "
+              f"{len(clean_findings)} findings:")
+        for f in clean_findings:
+            print("  " + f.render())
+    else:
+        print("self-test PASS: clean.cpp is clean under all passes")
+    return 1 if failures else 0
+
+
+def main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="srp-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: src/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each pass against tests/lint_fixtures/")
+    parser.add_argument("--pass", dest="only", action="append",
+                        choices=PASSES, help="run only the named pass")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    files = expand_paths(args.paths) if args.paths else default_file_list()
+    if not files:
+        print("srp-lint: no input files", file=sys.stderr)
+        return 2
+    findings = run_passes(files, set(args.only) if args.only else None)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"srp-lint: {len(findings)} finding(s) across "
+              f"{len(files)} file(s)")
+        return 1
+    print(f"srp-lint: clean ({len(files)} files, "
+          f"{len(PASSES)} passes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,134 @@
+#include "check/lock_order.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "check/contract.hpp"
+
+namespace srp::check::lockorder {
+namespace {
+
+// Guards the acquisition graph.  Deliberately a raw std::mutex: the
+// tracker must never recurse into itself through an srp::Mutex.  The
+// graph state is intentionally immortal (never destroyed): mutexes with
+// static storage duration may be destroyed after any function-local
+// static here, and their ~Mutex still calls on_destroy().
+std::mutex& graph_mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+// Directed acquisition-order edges: succ[a] holds every mutex acquired
+// at least once while a was held.  std::map keeps iteration valid across
+// inserts and needs no pointer hashing.
+using Graph = std::map<const void*, std::set<const void*>>;
+
+Graph& graph() {
+  static Graph* g = new Graph;
+  return *g;
+}
+
+std::size_t& edge_total() {
+  static std::size_t* n = new std::size_t(0);
+  return *n;
+}
+
+// The calling thread's currently-held srp::Mutexes, in acquisition
+// order.  Function-local so first use from any thread constructs it.
+std::vector<const void*>& held() {
+  thread_local std::vector<const void*> h;
+  return h;
+}
+
+/// True when @p target is reachable from @p from over recorded edges.
+bool reachable(const Graph& g, const void* from, const void* target) {
+  if (from == target) return true;
+  std::vector<const void*> stack{from};
+  std::set<const void*> seen;
+  while (!stack.empty()) {
+    const void* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    const auto it = g.find(node);
+    if (it == g.end()) continue;
+    for (const void* next : it->second) {
+      if (next == target) return true;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void report(const char* what, const void* held_mutex,
+                         const void* acquiring) {
+  // The handler may throw (test harnesses) — the buffer must outlive this
+  // frame, hence thread_local static.
+  thread_local static char message[160];
+  std::snprintf(message, sizeof(message),
+                "%s: acquiring mutex %p while holding %p inverts the "
+                "recorded acquisition order",
+                what, acquiring, held_mutex);
+  violation(Violation{"LOCK_ORDER", message, "srp::Mutex", 0, "lock"});
+}
+
+}  // namespace
+
+void on_acquire(const void* mutex) {
+  std::vector<const void*>& h = held();
+  if (!h.empty()) {
+    std::unique_lock<std::mutex> lock(graph_mutex());
+    Graph& g = graph();
+    for (const void* held_mutex : h) {
+      if (held_mutex == mutex) {
+        lock.unlock();
+        report("recursive acquisition", held_mutex, mutex);
+      }
+      if (g[held_mutex].contains(mutex)) continue;  // edge already proven
+      if (reachable(g, mutex, held_mutex)) {
+        // held -> ... -> mutex is recorded; taking mutex -> held now
+        // would close the cycle.  Report before blocking.
+        lock.unlock();
+        report("lock-order inversion", held_mutex, mutex);
+      }
+      g[held_mutex].insert(mutex);
+      ++edge_total();
+    }
+  }
+  h.push_back(mutex);
+}
+
+void on_try_acquire(const void* mutex) { held().push_back(mutex); }
+
+void on_release(const void* mutex) {
+  std::vector<const void*>& h = held();
+  // Releases are usually LIFO (MutexLock), but CondVar::wait and manual
+  // unlock may release out of order: erase the most recent match.
+  const auto it = std::find(h.rbegin(), h.rend(), mutex);
+  if (it != h.rend()) h.erase(std::next(it).base());
+}
+
+void on_destroy(const void* mutex) {
+  std::unique_lock<std::mutex> lock(graph_mutex());
+  Graph& g = graph();
+  const auto it = g.find(mutex);
+  if (it != g.end()) {
+    edge_total() -= it->second.size();
+    g.erase(it);
+  }
+  for (auto& [from, successors] : g) {
+    edge_total() -= successors.erase(mutex);
+  }
+}
+
+std::size_t edge_count() {
+  std::unique_lock<std::mutex> lock(graph_mutex());
+  return edge_total();
+}
+
+std::size_t held_depth() { return held().size(); }
+
+}  // namespace srp::check::lockorder

@@ -1,0 +1,56 @@
+// Runtime lock-order tracking: the enforcement twin of srp-lint's static
+// lock-hygiene pass (scripts/srp_lint.py pass 3).
+//
+// The static pass extracts the srp::Mutex acquisition graph it can see
+// lexically — nested MutexLock scopes inside one function — and fails on
+// cycles.  It cannot see acquisitions that nest through calls (e.g. a
+// monitor method invoking a callback that takes another monitor's lock).
+// This tracker closes that gap at runtime in contract-enabled builds
+// (Debug and sanitizer CI lanes): every srp::Mutex acquisition is
+// recorded against the thread's currently-held set, building the global
+// acquisition graph incrementally; an acquisition that would close a
+// cycle — the classic AB/BA inversion, or any longer loop — reports a
+// LOCK_ORDER contract violation *before* blocking, so the test catches
+// the inversion instead of deadlocking on it.
+//
+// Cost model: acquiring with no lock held (the overwhelmingly common
+// monitor pattern in this tree) touches only a thread-local vector.
+// Graph work happens only while nesting, and the graph mutex is a plain
+// std::mutex so the tracker never traces itself.  In Release builds the
+// hooks are never called (see sync.hpp) and the tracker costs nothing.
+//
+// Exercised by tests/concurrency_test.cpp (deliberate inversion).
+#pragma once
+
+#include <cstddef>
+
+namespace srp::check::lockorder {
+
+/// Records that the current thread is about to block on @p mutex.  Adds
+/// held->mutex edges to the acquisition graph; if any edge would close a
+/// cycle, reports a LOCK_ORDER violation through the installed contract
+/// violation handler (default: print and abort) without recording the
+/// acquisition.  Call BEFORE the underlying lock so inversions are
+/// caught instead of deadlocking.
+void on_acquire(const void* mutex);
+
+/// Records a successful non-blocking acquisition (try_lock).  A try_lock
+/// cannot contribute to a deadlock cycle — it never blocks — so the
+/// acquisition is pushed on the held set without edge checks.
+void on_try_acquire(const void* mutex);
+
+/// Records that the current thread released @p mutex.
+void on_release(const void* mutex);
+
+/// Purges every graph edge involving @p mutex (its address may be
+/// reused by a future mutex with an unrelated role).
+void on_destroy(const void* mutex);
+
+/// Number of distinct acquisition-order edges recorded so far
+/// (test/introspection aid).
+std::size_t edge_count();
+
+/// Locks @p mutex currently held by the calling thread (test aid).
+std::size_t held_depth();
+
+}  // namespace srp::check::lockorder

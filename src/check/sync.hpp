@@ -16,7 +16,21 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "check/contract.hpp"
+#include "check/lock_order.hpp"
 #include "check/thread_annotations.hpp"
+
+// In contract-enabled builds (Debug and every sanitizer lane) each
+// srp::Mutex acquisition feeds the global lock-order tracker
+// (check/lock_order.hpp): an acquisition that inverts the recorded order
+// reports a LOCK_ORDER contract violation before blocking, turning
+// potential deadlocks into immediate, attributable failures.  Release
+// builds compile the hooks away entirely.
+#if SIRPENT_CONTRACTS_ENABLED
+#define SRP_LOCK_ORDER_HOOK_(call) ::srp::check::lockorder::call
+#else
+#define SRP_LOCK_ORDER_HOOK_(call) static_cast<void>(0)
+#endif
 
 namespace srp {
 
@@ -24,12 +38,23 @@ namespace srp {
 class SRP_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  ~Mutex() { SRP_LOCK_ORDER_HOOK_(on_destroy(this)); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() SRP_ACQUIRE() { m_.lock(); }
-  void unlock() SRP_RELEASE() { m_.unlock(); }
-  bool try_lock() SRP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() SRP_ACQUIRE() {
+    SRP_LOCK_ORDER_HOOK_(on_acquire(this));
+    m_.lock();
+  }
+  void unlock() SRP_RELEASE() {
+    m_.unlock();
+    SRP_LOCK_ORDER_HOOK_(on_release(this));
+  }
+  bool try_lock() SRP_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+    SRP_LOCK_ORDER_HOOK_(on_try_acquire(this));
+    return true;
+  }
 
  private:
   friend class CondVar;
@@ -65,9 +90,13 @@ class CondVar {
   /// standard `while (!condition) cv.wait(mutex);` loop instead — the loop
   /// body is then checked against the enclosing function's capabilities.
   void wait(Mutex& mutex) SRP_REQUIRES(mutex) {
+    // The wait releases and reacquires the mutex: mirror that in the
+    // lock-order tracker so held-set bookkeeping stays exact.
+    SRP_LOCK_ORDER_HOOK_(on_release(&mutex));
     std::unique_lock<std::mutex> lock(mutex.m_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller's MutexLock still owns the mutex
+    SRP_LOCK_ORDER_HOOK_(on_acquire(&mutex));
   }
 
   void notify_one() { cv_.notify_one(); }

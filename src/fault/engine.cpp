@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/analysis.hpp"
 #include "check/contract.hpp"
 
 namespace srp::fault {
@@ -57,7 +58,7 @@ void FaultEngine::note(const std::string& target, const char* lane,
   }
 }
 
-void FaultEngine::attach(net::TxPort& port) {
+SRP_SIM_VISIBLE void FaultEngine::attach(net::TxPort& port) {
   const LaneConfig& lane = plan_.lane_for(port.name());
   if (!lane.any()) return;
 

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "check/analysis.hpp"
+
 namespace srp::flow {
 
 FlowObserver::FlowObserver(std::string name, const FlowConfig& config,
@@ -20,7 +22,7 @@ FlowObserver::FlowObserver(std::string name, const FlowConfig& config,
   }
 }
 
-void FlowObserver::on_forward(const obs::FlowSample& sample) {
+SRP_HOT_PATH void FlowObserver::on_forward(const obs::FlowSample& sample) {
   const FlowKey key{sample.route_digest, sample.account, sample.tos_class};
   const bool evicted = table_.record(key, sample.bytes, sample.cut_through,
                                      sample.now, sample.in_port,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/analysis.hpp"
 #include "check/contract.hpp"
 
 namespace srp::flow {
@@ -12,7 +13,7 @@ FlowTable::FlowTable(std::size_t capacity)
   // valid because eviction replaces slots in place.
 }
 
-bool FlowTable::record(const FlowKey& key, std::uint32_t bytes,
+SRP_HOT_PATH bool FlowTable::record(const FlowKey& key, std::uint32_t bytes,
                        bool cut_through, sim::Time now,
                        std::uint16_t in_port, std::uint16_t out_port) {
   MutexLock lock(mutex_);
@@ -43,8 +44,10 @@ bool FlowTable::record(const FlowKey& key, std::uint32_t bytes,
     r.key = key;
     r.first_seen = now;
     touch(r);
-    index_.emplace(key, slots_.size());
-    slots_.push_back(r);
+    // Table fill: at most `capacity_` of these ever run; the steady-state
+    // hit path above is allocation-free.
+    SRP_ALLOC_OK(index_.emplace(key, slots_.size()));
+    SRP_ALLOC_OK(slots_.push_back(r));
     return false;
   }
 
@@ -58,7 +61,7 @@ bool FlowTable::record(const FlowKey& key, std::uint32_t bytes,
   }
   ++stats_.evictions;
   FlowRecord& r = slots_[victim];
-  index_.erase(r.key);
+  index_.erase(r.key);  // erase never allocates
   const std::uint64_t inherited_bytes = r.bytes;
   const std::uint64_t inherited_packets = r.packets;
   r = FlowRecord{};
@@ -69,7 +72,9 @@ bool FlowTable::record(const FlowKey& key, std::uint32_t bytes,
   r.error_packets = inherited_packets;
   r.first_seen = now;
   touch(r);
-  index_.emplace(key, victim);
+  // Slot replacement reuses the victim's index entry budget: one erase +
+  // one emplace against a table already at capacity.
+  SRP_ALLOC_OK(index_.emplace(key, victim));
   SIRPENT_INVARIANT(index_.size() == slots_.size());
   return true;
 }

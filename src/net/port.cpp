@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "check/analysis.hpp"
 #include "check/contract.hpp"
 
 namespace srp::net {
@@ -44,7 +45,8 @@ void TxPort::notify_queue_change() {
   }
 }
 
-void TxPort::enqueue(PacketPtr packet, TxMeta meta, sim::Time earliest_start) {
+SRP_HOT_PATH void TxPort::enqueue(PacketPtr packet, TxMeta meta,
+                                  sim::Time earliest_start) {
   if (fault_hook) {
     switch (fault_hook(packet, meta, earliest_start)) {
       case FaultVerdict::kPass:
@@ -62,8 +64,8 @@ void TxPort::enqueue(PacketPtr packet, TxMeta meta, sim::Time earliest_start) {
   enqueue_unfiltered(std::move(packet), meta, earliest_start);
 }
 
-void TxPort::enqueue_unfiltered(PacketPtr packet, TxMeta meta,
-                                sim::Time earliest_start) {
+SRP_HOT_PATH void TxPort::enqueue_unfiltered(PacketPtr packet, TxMeta meta,
+                                             sim::Time earliest_start) {
   ++stats_.enqueued;
   if (!up_) {
     ++stats_.dropped_down;
@@ -102,16 +104,18 @@ void TxPort::enqueue_unfiltered(PacketPtr packet, TxMeta meta,
   if (!transmitting_) try_start(sim_.now());
 }
 
-void TxPort::insert_by_rank(Queued item) {
+SRP_HOT_PATH void TxPort::insert_by_rank(Queued item) {
   // Descending rank, FIFO within a rank: scan from the back.
   auto it = queue_.end();
   while (it != queue_.begin() && std::prev(it)->meta.rank < item.meta.rank) {
     --it;
   }
-  queue_.insert(it, std::move(item));
+  // The output queue is the paper's "output buffer space": buffering a
+  // blocked packet is the deliberate allocation on this path.
+  SRP_ALLOC_OK(queue_.insert(it, std::move(item)));
 }
 
-void TxPort::try_start(sim::Time not_before) {
+SRP_HOT_PATH void TxPort::try_start(sim::Time not_before) {
   if (transmitting_ || queue_.empty() || !up_) return;
 
   Queued& front = queue_.front();
@@ -119,6 +123,7 @@ void TxPort::try_start(sim::Time not_before) {
       std::max({sim_.now(), not_before, front.earliest_start});
   if (start > sim_.now()) {
     if (wakeup_event_ != 0) sim_.cancel(wakeup_event_);
+    // SRP_ALLOC_OK(cut-through wakeup event)
     wakeup_event_ = sim_.at(start, [this] {
       wakeup_event_ = 0;
       try_start(sim_.now());
@@ -136,7 +141,7 @@ void TxPort::try_start(sim::Time not_before) {
   notify_queue_change();
 }
 
-void TxPort::start_transmission(Queued item, sim::Time start) {
+SRP_HOT_PATH void TxPort::start_transmission(Queued item, sim::Time start) {
   SIRPENT_EXPECTS(!transmitting_);
   SIRPENT_EXPECTS(start >= item.earliest_start);
   transmitting_ = true;
@@ -144,6 +149,7 @@ void TxPort::start_transmission(Queued item, sim::Time start) {
   current_start_ = start;
   current_end_ = start + tx_time(current_.packet->size());
 
+  // SRP_ALLOC_OK(completion event, one per transmission)
   completion_event_ =
       sim_.at(current_end_, [this] { complete_transmission(); });
 
@@ -170,11 +176,12 @@ void TxPort::start_transmission(Queued item, sim::Time start) {
     const sim::Time tail = current_end_ + config_.prop_delay;
     Arrival arrival{current_.packet, peer_in_port_, head, tail,
                     config_.rate_bps};
+    // SRP_ALLOC_OK(arrival event, one per transmission)
     sim_.at(head, [peer = peer_, arrival] { peer->on_arrival(arrival); });
   }
 }
 
-void TxPort::complete_transmission() {
+SRP_HOT_PATH void TxPort::complete_transmission() {
   SIRPENT_EXPECTS(transmitting_);
   ++stats_.sent;
   stats_.bytes_sent += current_.packet->size();

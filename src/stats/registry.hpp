@@ -32,6 +32,7 @@
 #include <string>
 #include <string_view>
 
+#include "check/analysis.hpp"
 #include "check/sync.hpp"
 
 namespace srp::stats {
@@ -50,7 +51,9 @@ namespace srp::stats {
 /// orders the memory.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  SRP_HOT_PATH void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
@@ -119,7 +122,7 @@ class Histogram {
     return (std::uint64_t{1} << i) - 1;
   }
 
-  void record(std::uint64_t value) {
+  SRP_HOT_PATH void record(std::uint64_t value) {
     counts_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);

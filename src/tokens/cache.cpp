@@ -1,10 +1,14 @@
 #include "tokens/cache.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "check/analysis.hpp"
 #include "check/contract.hpp"
 
 namespace srp::tokens {
 
-std::optional<TokenCache::Entry> TokenCache::lookup(
+SRP_HOT_PATH std::optional<TokenCache::Entry> TokenCache::lookup(
     std::span<const std::uint8_t> token) {
   MutexLock lock(mutex_);
   const auto it = entries_.find(key_of(token));
@@ -37,7 +41,7 @@ TokenCache::Entry TokenCache::store(std::span<const std::uint8_t> token,
   return e;
 }
 
-TokenCache::ChargeResult TokenCache::charge(
+SRP_HOT_PATH TokenCache::ChargeResult TokenCache::charge(
     std::span<const std::uint8_t> token, std::uint64_t bytes,
     Ledger& ledger) {
   std::uint32_t account = 0;
@@ -72,8 +76,16 @@ TokenCache::ChargeResult TokenCache::charge(
 std::size_t TokenCache::poison(std::uint64_t selector, bool flag) {
   MutexLock lock(mutex_);
   if (entries_.empty()) return 0;
-  auto it = entries_.begin();
-  std::advance(it, static_cast<long>(selector % entries_.size()));
+  // Select the victim by sorted key, not by unordered_map iteration
+  // order: the bucket walk varies across standard libraries and hash
+  // seeds, which would make fault scenarios replay differently on
+  // different toolchains (srp-lint determinism pass).
+  std::vector<std::uint64_t> keys;
+  keys.reserve(entries_.size());
+  // SRP_ORDER_OK(keys are sorted below before any order-dependent use)
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  const auto it = entries_.find(keys[selector % keys.size()]);
   if (flag) {
     it->second.valid = false;
     it->second.flagged = true;

@@ -1,5 +1,6 @@
 #include "viper/codec.hpp"
 
+#include "check/analysis.hpp"
 #include "check/contract.hpp"
 #include "crypto/siphash.hpp"
 
@@ -61,7 +62,8 @@ std::size_t segment_wire_size(const core::HeaderSegment& segment) {
          field_wire_size(segment.port_info.size());
 }
 
-void encode_segment(wire::Writer& w, const core::HeaderSegment& segment) {
+SRP_HOT_PATH void encode_segment(wire::Writer& w,
+                                 const core::HeaderSegment& segment) {
   if (segment.token.size() > 0xFFFFFFFFull ||
       segment.port_info.size() > 0xFFFFFFFFull) {
     throw wire::CodecError("VIPER: field too large");
@@ -79,7 +81,7 @@ void encode_segment(wire::Writer& w, const core::HeaderSegment& segment) {
   SIRPENT_ENSURES(w.size() - before == segment_wire_size(segment));
 }
 
-core::HeaderSegment decode_segment(wire::Reader& r) {
+SRP_HOT_PATH core::HeaderSegment decode_segment(wire::Reader& r) {
   [[maybe_unused]] const std::size_t start = r.position();
   const std::uint8_t info_len = r.u8();
   const std::uint8_t token_len = r.u8();

@@ -1,5 +1,6 @@
 #include "viper/host.hpp"
 
+#include "check/analysis.hpp"
 #include "check/contract.hpp"
 
 namespace srp::viper {
@@ -97,7 +98,7 @@ std::uint64_t ViperHost::reply(const Delivery& delivery,
   return send(route, data, options);
 }
 
-void ViperHost::on_arrival(const net::Arrival& arrival) {
+SRP_SIM_VISIBLE void ViperHost::on_arrival(const net::Arrival& arrival) {
   // A host needs the whole packet (data + trailer): act at last-bit time.
   sim_.at(arrival.tail, [this, arrival] { process(arrival); });
 }

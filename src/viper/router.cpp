@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "check/analysis.hpp"
 #include "check/contract.hpp"
 
 namespace srp::viper {
@@ -15,21 +16,41 @@ net::TxMeta meta_for(const core::TypeOfService& tos) {
                      tos.drop_if_blocked};
 }
 
+}  // namespace
+
 /// Port field of the packet's next segment, or 0 when the remainder does
 /// not start with a routable segment (e.g. it is the DataLen of a locally
 /// terminating packet).  Used only as the congestion flow key.
-std::uint8_t peek_next_port(const wire::Bytes& bytes, std::size_t offset) {
+///
+/// Reads the fixed 4-byte prefix and *skips* the variable fields instead
+/// of materializing them the way decode_segment would — this runs once
+/// per forward, and srp-lint's hot-path pass budget assumes it stays
+/// allocation-free.
+SRP_HOT_PATH std::uint8_t peek_next_port(const wire::Bytes& bytes,
+                                         std::size_t offset) {
   if (offset >= bytes.size()) return 0;
   wire::Reader r{std::span{bytes}.subspan(offset)};
   try {
-    const core::HeaderSegment seg = decode_segment(r);
-    return seg.is_legal() ? seg.port : 0;
+    const std::uint8_t info_len = r.u8();
+    const std::uint8_t token_len = r.u8();
+    const std::uint8_t port = r.u8();
+    const std::uint8_t flags = static_cast<std::uint8_t>(r.u8() >> 4);
+    // Mirror decode_field's framing exactly (length-escape rules and
+    // bounds) so "parses here" agrees with "parses downstream".
+    for (const std::uint8_t length_byte : {token_len, info_len}) {
+      std::size_t len = length_byte;
+      if (length_byte == 255) {
+        len = r.u32();
+        if (len <= 254) return 0;
+      }
+      r.skip(len);
+    }
+    const bool legal = (flags & kFlagTrm) == 0;
+    return legal ? port : 0;
   } catch (const wire::CodecError&) {
     return 0;
   }
 }
-
-}  // namespace
 
 wire::Bytes encode_endpoint_id(std::uint64_t id) {
   wire::Writer w(8);
@@ -154,10 +175,10 @@ void ViperRouter::count_token_outcome(obs::TokenOutcome outcome) {
   if (c != nullptr) c->add();
 }
 
-void ViperRouter::record_flow(const net::Arrival& arrival,
-                              const ParsedFront& front, int out_port,
-                              const wire::Bytes& bytes, bool cut_through,
-                              std::uint32_t account, sim::Time now) {
+SRP_HOT_PATH void ViperRouter::record_flow(
+    const net::Arrival& arrival, const ParsedFront& front, int out_port,
+    const wire::Bytes& bytes, bool cut_through, std::uint32_t account,
+    sim::Time now) {
   obs::FlowSample sample;
   sample.route_digest = arrival.packet->route_digest;
   sample.packet_id = arrival.packet->id;
@@ -178,14 +199,14 @@ void ViperRouter::record_flow(const net::Arrival& arrival,
   obs_flow_->on_forward(sample);
 }
 
-void ViperRouter::on_arrival(const net::Arrival& arrival) {
+SRP_SIM_VISIBLE void ViperRouter::on_arrival(const net::Arrival& arrival) {
   ++stats_.received;
   arrival.packet->last_in_port = arrival.in_port;
   handle_packet(arrival, arrival.packet->bytes,
                 /*synthetic_tree_copy=*/false);
 }
 
-void ViperRouter::handle_packet(
+SRP_HOT_PATH void ViperRouter::handle_packet(
     const net::Arrival& arrival, const wire::Bytes& bytes,
     bool synthetic_tree_copy,
     std::optional<std::pair<std::uint8_t, wire::Bytes>> tunnel_return) {
@@ -339,9 +360,9 @@ core::HeaderSegment ViperRouter::make_return_entry(
   return entry;
 }
 
-std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
-    const core::HeaderSegment& seg, int physical_port,
-    std::size_t packet_bytes) {
+SRP_HOT_PATH std::optional<ViperRouter::TokenDecision>
+ViperRouter::admit_token(const core::HeaderSegment& seg, int physical_port,
+                         std::size_t packet_bytes) {
   if (!config_.require_tokens || authority_ == nullptr) {
     // Enforcement disabled: echo any supplied token into the trailer so
     // the receiver can reuse it on the return route.
@@ -405,13 +426,17 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
   // schedule is bit-identical either way.
   const std::uint64_t key = tokens::TokenCache::key_of(seg.token);
   if (!pending_verifies_.contains(key)) {
-    pending_verifies_.insert(key);
-    wire::Bytes token_copy = seg.token;
+    // Verification slow path: one-time bookkeeping per distinct token
+    // value, not per packet — the blessed allocations below amortize to
+    // zero in steady state (pinned by tests/alloc_budget_test.cpp).
+    SRP_ALLOC_OK(pending_verifies_.insert(key));
+    SRP_ALLOC_OK(wire::Bytes token_copy = seg.token);
     const std::uint64_t first_packet_bytes = packet_bytes;
     std::optional<tokens::ValidationEngine::Ticket> ticket;
     if (validation_engine_ != nullptr) {
       ticket = validation_engine_->submit(config_.router_id, token_copy);
     }
+    // SRP_ALLOC_OK(verification completion event, once per token value)
     sim_.after(config_.verify_delay, [this, token_copy = std::move(token_copy),
                                       first_packet_bytes, key, ticket] {
       pending_verifies_.erase(key);
@@ -454,7 +479,7 @@ std::optional<ViperRouter::TokenDecision> ViperRouter::admit_token(
   return std::nullopt;
 }
 
-ViperRouter::ForwardTiming ViperRouter::forward_timing(
+SRP_HOT_PATH ViperRouter::ForwardTiming ViperRouter::forward_timing(
     const net::Arrival& arrival, std::size_t consumed, int out_port) const {
   // Cut-through preconditions (§2.1): output may start only after the
   // decision point — link header + first segment — has fully arrived, and
@@ -479,9 +504,11 @@ ViperRouter::ForwardTiming ViperRouter::forward_timing(
   return timing;
 }
 
-void ViperRouter::forward(const net::Arrival& arrival,
-                          const ParsedFront& front, int physical_port,
-                          const wire::Bytes& bytes, bool was_blocked) {
+SRP_HOT_PATH void ViperRouter::forward(const net::Arrival& arrival,
+                                       const ParsedFront& front,
+                                       int physical_port,
+                                       const wire::Bytes& bytes,
+                                       bool was_blocked) {
   if (physical_port <= 0 || physical_port > port_count()) {
     ++stats_.dropped_no_port;
     return;
@@ -495,10 +522,13 @@ void ViperRouter::forward(const net::Arrival& arrival,
   if (decision->extra_delay > 0 &&
       config_.uncached_policy == tokens::UncachedPolicy::kBlocking) {
     // Blocking admission: retry once the verification has landed in the
-    // cache (the packet is fully buffered by then).
+    // cache (the packet is fully buffered by then).  Copying the packet
+    // image for the deferral is the price of the kBlocking policy, not of
+    // the steady-state forward path.
     net::Arrival deferred = arrival;
-    wire::Bytes bytes_copy = bytes;
-    ParsedFront front_copy = front;
+    SRP_ALLOC_OK(wire::Bytes bytes_copy = bytes);
+    SRP_ALLOC_OK(ParsedFront front_copy = front);
+    // SRP_ALLOC_OK(deferred-retry event, kBlocking policy only)
     sim_.after(decision->extra_delay,
                [this, deferred, front_copy = std::move(front_copy),
                 physical_port, bytes_copy = std::move(bytes_copy)] {
@@ -508,7 +538,11 @@ void ViperRouter::forward(const net::Arrival& arrival,
     return;
   }
 
-  wire::Writer w(bytes.size() + 32);
+  // The one per-forward buffer: the rewritten packet image (remainder +
+  // this hop's return entry).  The batched zero-copy refactor (ROADMAP
+  // item 1) replaces this with an arena slab; until then it is the
+  // documented baseline cost.
+  SRP_ALLOC_OK(wire::Writer w(bytes.size() + 32));
   if (port_kind(physical_port) == PortKind::kLan) {
     if (front.segment.port_info.size() < net::EthernetHeader::kWireSize) {
       ++stats_.dropped_malformed;
@@ -526,12 +560,13 @@ void ViperRouter::forward(const net::Arrival& arrival,
     // Cut-through discovers oversize mid-transmission; the packet is cut
     // and a truncation mark (an illegal segment) is appended (§2).
     const core::HeaderSegment mark = core::HeaderSegment::truncation_marker();
-    wire::Writer mw(4);
+    SRP_ALLOC_OK(wire::Writer mw(4));
     encode_segment(mw, mark);
     const wire::Bytes mark_bytes = std::move(mw).take();
     SIRPENT_INVARIANT(out.config().mtu_bytes >= mark_bytes.size());
-    out_bytes.resize(out.config().mtu_bytes - mark_bytes.size());
-    out_bytes.insert(out_bytes.end(), mark_bytes.begin(), mark_bytes.end());
+    SRP_ALLOC_OK(out_bytes.resize(out.config().mtu_bytes - mark_bytes.size()));
+    SRP_ALLOC_OK(
+        out_bytes.insert(out_bytes.end(), mark_bytes.begin(), mark_bytes.end()));
     truncated = true;
     ++stats_.truncated_forwards;
     // A truncated forward is cut exactly to the output MTU with the mark as

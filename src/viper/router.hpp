@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/multicast.hpp"
+#include "check/analysis.hpp"
 #include "core/segment.hpp"
 #include "core/trailer.hpp"
 #include "net/ethernet.hpp"
@@ -78,6 +79,15 @@ struct LogicalPort {
   Kind kind = Kind::kLoadBalance;
   std::vector<int> members;
 };
+
+
+/// Port field of the packet's next segment starting at @p offset, or 0
+/// when the remainder does not start with a routable segment.  The
+/// cut-through fast path: reads the fixed 4-byte prefix and skips the
+/// variable fields without materializing them, so it is allocation-free
+/// (pinned by tests/alloc_budget_test.cpp).
+SRP_HOT_PATH std::uint8_t peek_next_port(const wire::Bytes& bytes,
+                                         std::size_t offset);
 
 class ViperRouter : public net::PortedNode {
  public:

@@ -1,0 +1,149 @@
+// Runtime twin of srp-lint's hotpath-alloc pass (scripts/srp_lint.py).
+//
+// The static pass polices SRP_HOT_PATH function bodies lexically; it
+// cannot see allocations that hide behind calls (wire::Bytes copies,
+// std::function captures in sim events, container rehashes).  This
+// binary replaces global operator new with a counting shim and pins the
+// *end-to-end* allocation cost of the steady-state forwarding path: if
+// a change sneaks an extra per-packet allocation in anywhere — router,
+// port, codec, flow accounting — the budget assertion moves and the
+// regression is attributable to this PR, not discovered in a profile
+// three PRs later.  The budget below is the measured cost plus modest
+// headroom, deliberately tight; ROADMAP item 1 (batched zero-copy data
+// plane) is expected to *lower* it and should update the constant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "directory/fabric.hpp"
+#include "test_util.hpp"
+#include "viper/codec.hpp"
+#include "viper/router.hpp"
+#include "wire/buffer.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+// Full replacement set: every form must be covered or the default
+// implementation silently takes over for that form and the counts lie.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace srp {
+namespace {
+
+using test::line_route;
+using test::pattern_bytes;
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+/// Steady-state allocations per packet across a 2-router line, measured
+/// end to end: host encode, two router forwards (cut-through peek, port
+/// queueing, flow accounting, hop events), final local delivery.  The
+/// measured value on libstdc++ 12 is 31 (host encode, per-hop packet
+/// clone + sim events, port queueing, flow accounting, delivery); the
+/// cap leaves room for small-buffer-optimization differences between
+/// standard libraries, not for new allocations on the path.
+constexpr std::uint64_t kSteadyStatePacketBudget = 36;
+
+TEST(AllocBudget, SteadyStateLineForwardingStaysWithinBudget) {
+  sim::Simulator sim;
+  dir::Fabric fabric{sim};
+  test::Line line = test::build_line(fabric, 2, "src.test", "dst.test");
+
+  std::uint64_t delivered = 0;
+  line.dst->set_default_handler([&](const viper::Delivery&) { ++delivered; });
+
+  const core::SourceRoute route = line_route(2);
+  const wire::Bytes payload = pattern_bytes(64);
+
+  // Warm-up: populate flow tables, port queues, the simulator's event
+  // storage and every first-touch std::map node so the measured window
+  // sees only the recurring per-packet cost.
+  constexpr int kWarmup = 50;
+  for (int i = 0; i < kWarmup; ++i) line.src->send(route, payload);
+  sim.run();
+  ASSERT_EQ(delivered, static_cast<std::uint64_t>(kWarmup));
+
+  constexpr int kPackets = 200;
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < kPackets; ++i) line.src->send(route, payload);
+  sim.run();
+  const std::uint64_t per_packet =
+      (allocation_count() - before) / kPackets;
+
+  EXPECT_EQ(delivered, static_cast<std::uint64_t>(kWarmup + kPackets));
+  EXPECT_LE(per_packet, kSteadyStatePacketBudget)
+      << "steady-state forwarding now allocates " << per_packet
+      << " times per packet (budget " << kSteadyStatePacketBudget
+      << "); either hoist the new allocation off the hot path or update "
+         "the documented budget with a rationale";
+  // A budget that is far too loose is as useless as one that is too
+  // tight: if an optimization lands, ratchet the constant down.
+  EXPECT_GE(per_packet, kSteadyStatePacketBudget / 4)
+      << "measured " << per_packet
+      << " allocations/packet — tighten kSteadyStatePacketBudget";
+}
+
+TEST(AllocBudget, CutThroughPeekDoesNotAllocate) {
+  // peek_next_port is the per-hop cut-through decision and is written to
+  // be allocation-free (span-based wire::Reader, no field copies).  Pin
+  // that property exactly: zero allocations per call.
+  core::SourceRoute route = line_route(3);
+  route.segments[0].port_info = pattern_bytes(12);
+  const wire::Bytes bytes = viper::encode_route(route);
+
+  const std::uint64_t before = allocation_count();
+  std::uint8_t port = 0;
+  for (int i = 0; i < 1'000; ++i) {
+    port = viper::peek_next_port(bytes, 0);
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "peek_next_port allocated on the cut-through path";
+  EXPECT_EQ(port, 2);
+}
+
+TEST(AllocBudget, HistogramRecordDoesNotAllocate) {
+  stats::Registry registry;
+  stats::Histogram& h = registry.histogram("alloc.test.latency_ps");
+  h.record(1);  // first-touch anything lazy
+  const std::uint64_t before = allocation_count();
+  for (std::uint64_t i = 0; i < 10'000; ++i) h.record(i);
+  EXPECT_EQ(allocation_count(), before)
+      << "stats::Histogram::record allocated on the hot path";
+}
+
+}  // namespace
+}  // namespace srp

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -470,6 +471,140 @@ TEST(ParallelValidationDeterminism, RouterChainIdenticalAtAnyWorkerCount) {
     EXPECT_TRUE(parallel.ledger == serial.ledger) << workers;
   }
 }
+
+// --- Lock-order tracker ---------------------------------------------------
+//
+// Runtime twin of srp-lint's lock-order pass: the static pass sees only
+// lexical MutexLock nesting, so inversions that nest through calls are
+// caught here, by the tracker wired into srp::Mutex (check/lock_order.hpp).
+// The tracker only exists in contract-enabled builds (Debug + sanitizer
+// lanes); in Release the hooks compile away along with these tests.
+#if SIRPENT_CONTRACTS_ENABLED
+
+/// Thrown by the test handler instead of aborting the process.
+struct LockOrderFired {
+  std::string kind;
+};
+
+[[noreturn]] void lock_order_handler(const check::Violation& v) {
+  throw LockOrderFired{v.kind};
+}
+
+class LockOrderTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = check::set_violation_handler(lock_order_handler);
+  }
+  void TearDown() override { check::set_violation_handler(previous_); }
+
+ private:
+  check::ViolationHandler previous_ = nullptr;
+};
+
+TEST_F(LockOrderTrackerTest, ConsistentOrderIsSilent) {
+  Mutex a;
+  Mutex b;
+  const std::size_t edges = check::lockorder::edge_count();
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  // The a->b edge is recorded once; re-acquisitions in the same order
+  // neither grow the graph nor fire.
+  EXPECT_EQ(check::lockorder::edge_count(), edges + 1);
+  EXPECT_EQ(check::lockorder::held_depth(), 0u);
+}
+
+TEST_F(LockOrderTrackerTest, CatchesAbBaInversion) {
+  Mutex a;
+  Mutex b;
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // records a -> b
+  }
+  bool fired = false;
+  {
+    MutexLock lb(b);
+    try {
+      MutexLock la(a);  // b -> a closes the cycle: must fire, not block
+    } catch (const LockOrderFired& violation) {
+      fired = true;
+      EXPECT_EQ(violation.kind, "LOCK_ORDER");
+    }
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(check::lockorder::held_depth(), 0u);
+}
+
+TEST_F(LockOrderTrackerTest, CatchesInversionAcrossThreads) {
+  // The graph is global: thread 1 records a->b, thread 2 then attempts
+  // b->a.  The tracker reports before blocking, so the test never
+  // deadlocks even though both orders really execute.
+  Mutex a;
+  Mutex b;
+  std::thread first([&] {
+    MutexLock la(a);
+    MutexLock lb(b);
+  });
+  first.join();
+
+  std::atomic<bool> fired{false};
+  std::thread second([&] {
+    MutexLock lb(b);
+    try {
+      MutexLock la(a);
+    } catch (const LockOrderFired&) {
+      fired = true;
+    }
+  });
+  second.join();
+  EXPECT_TRUE(fired.load());
+}
+
+TEST_F(LockOrderTrackerTest, CatchesRecursiveAcquisition) {
+  Mutex a;
+  MutexLock la(a);
+  bool fired = false;
+  try {
+    a.lock();  // srp::Mutex is non-recursive: must fire, not deadlock
+    a.unlock();
+  } catch (const LockOrderFired& violation) {
+    fired = true;
+    EXPECT_EQ(violation.kind, "LOCK_ORDER");
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(LockOrderTrackerTest, DestroyedMutexLeavesNoStaleEdges) {
+  Mutex a;
+  const std::size_t edges = check::lockorder::edge_count();
+  {
+    Mutex b;
+    MutexLock la(a);
+    MutexLock lb(b);  // a -> b
+  }  // ~b purges the edge: a future mutex at b's address starts clean
+  EXPECT_EQ(check::lockorder::edge_count(), edges);
+}
+
+TEST_F(LockOrderTrackerTest, TryLockNeverContributesEdges) {
+  Mutex a;
+  Mutex b;
+  const std::size_t edges = check::lockorder::edge_count();
+  {
+    MutexLock la(a);
+    ASSERT_TRUE(b.try_lock());  // cannot block, so no a->b edge
+    b.unlock();
+  }
+  EXPECT_EQ(check::lockorder::edge_count(), edges);
+  // And the reverse order as real locks must therefore stay legal.
+  {
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+  EXPECT_EQ(check::lockorder::held_depth(), 0u);
+}
+
+#endif  // SIRPENT_CONTRACTS_ENABLED
 
 }  // namespace
 }  // namespace srp

@@ -1,0 +1,30 @@
+// srp-lint fixture: allocations inside an SRP_HOT_PATH body, all of
+// which the hotpath-alloc pass must flag.  Never compiled.
+#include <cstdint>
+#include <vector>
+
+#define SRP_HOT_PATH
+
+namespace fixture {
+
+class BadPort {
+ public:
+  SRP_HOT_PATH void enqueue(std::uint32_t value) {
+    // 1. growing-container call on the steady-state path.
+    queue_.push_back(value);
+
+    // 2. raw heap allocation.
+    auto* scratch = new std::uint32_t[4];
+    scratch[0] = value;
+    delete[] scratch;
+  }
+
+  // Unmarked function: the same constructs are fine here, the pass only
+  // polices SRP_HOT_PATH bodies.
+  void setup(std::uint32_t value) { queue_.push_back(value); }
+
+ private:
+  std::vector<std::uint32_t> queue_;
+};
+
+}  // namespace fixture

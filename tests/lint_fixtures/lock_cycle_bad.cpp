@@ -1,0 +1,29 @@
+// srp-lint fixture: an AB/BA lock-order inversion across two methods of
+// the same class, which the lock-order pass must report as a cycle.
+// Never compiled.
+namespace fixture {
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&) {}
+};
+
+class BadMonitor {
+ public:
+  void transfer_in() {
+    MutexLock a(ledger_mutex_);
+    MutexLock b(cache_mutex_);  // ledger -> cache
+  }
+
+  void transfer_out() {
+    MutexLock a(cache_mutex_);
+    MutexLock b(ledger_mutex_);  // cache -> ledger: closes the cycle
+  }
+
+ private:
+  Mutex ledger_mutex_;
+  Mutex cache_mutex_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// srp-lint fixture: stats::Registry registrations whose names break the
+// component.instance.metric contract; the metric-names pass must flag
+// each one.  Never compiled.
+#include <string>
+
+namespace fixture {
+
+struct Counter {
+  void add() {}
+};
+
+struct Registry {
+  Counter& counter(const std::string&) { return c_; }
+  Counter c_;
+};
+
+inline void register_metrics(Registry& registry, const std::string& inst) {
+  // 1. single segment: no component/instance structure at all.
+  registry.counter("forwarded").add();
+
+  // 2. empty segment from a doubled dot.
+  registry.counter("viper.." + inst).add();
+
+  // 3. illegal character in a segment.
+  registry.counter("viper.r1.bad metric").add();
+
+  // 4. too many segments (six).
+  registry.counter("a.b.c.d.e.f").add();
+
+  // Valid names, for contrast: these must NOT be flagged.
+  registry.counter("viper.r1.forwarded").add();
+  registry.counter("viper." + inst + ".forwarded").add();
+}
+
+}  // namespace fixture
