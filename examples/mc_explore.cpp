@@ -1,0 +1,161 @@
+// Bounded model checking of the protocol transition cores (DESIGN.md §10).
+//
+//   ./mc_explore                 verify all three machines at depth 8
+//   ./mc_explore --depth 10      deeper bound
+//   ./mc_explore --model vmtp    one machine only
+//   ./mc_explore --self-test     run every registered mutant; each must
+//                                be caught with its expected invariant
+//   ./mc_explore --mutant ID     explore one mutant and print its
+//                                minimized counterexample JSON (this is
+//                                how tests/mc_regress/*.json are frozen)
+//
+// Exit status: 0 = all invariants hold (or all mutants caught),
+// 1 = violation found (counterexample JSON on stdout), 2 = usage error.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mc/counterexample.hpp"
+#include "mc/explorer.hpp"
+#include "mc/mutants.hpp"
+#include "mc/throttle_model.hpp"
+#include "mc/token_model.hpp"
+#include "mc/vmtp_model.hpp"
+
+namespace {
+
+using namespace srp;
+
+std::vector<std::unique_ptr<mc::Model>> build_models(const mc::Mutant* m) {
+  std::vector<std::unique_ptr<mc::Model>> models;
+  const bool vmtp_machine = m == nullptr || m->machine == "vmtp";
+  const bool token_machine = m == nullptr || m->machine == "token";
+  const bool throttle_machine = m == nullptr || m->machine == "throttle";
+  if (vmtp_machine) {
+    mc::VmtpScenario scenario;
+    models.push_back(std::make_unique<mc::VmtpModel>(
+        scenario, (m != nullptr && m->txn != nullptr) ? m->txn : &vmtp::txn_step,
+        (m != nullptr && m->rx != nullptr) ? m->rx : &vmtp::rx_step));
+  }
+  if (token_machine) {
+    for (const auto policy :
+         {tokens::UncachedPolicy::kOptimistic, tokens::UncachedPolicy::kBlocking,
+          tokens::UncachedPolicy::kDrop}) {
+      mc::TokenScenario scenario;
+      scenario.policy = policy;
+      models.push_back(std::make_unique<mc::TokenModel>(
+          scenario, (m != nullptr && m->token != nullptr) ? m->token
+                                                          : &tokens::token_step));
+    }
+  }
+  if (throttle_machine) {
+    models.push_back(std::make_unique<mc::ThrottleModel>(
+        mc::ThrottleScenario{}, (m != nullptr && m->throttle != nullptr)
+                                    ? m->throttle
+                                    : &cc::throttle_step));
+  }
+  return models;
+}
+
+int verify(int depth, const std::string& only) {
+  bool violated = false;
+  for (const auto& model : build_models(nullptr)) {
+    if (!only.empty() && model->name() != only) continue;
+    mc::ExplorerConfig config;
+    config.max_depth = depth;
+    const mc::ExploreResult result = mc::explore(*model, config);
+    std::printf("model=%s depth=%d states=%zu transitions=%zu %s\n",
+                model->name().c_str(), depth, result.states_visited,
+                result.transitions, result.ok() ? "OK" : "VIOLATION");
+    if (!result.ok()) {
+      violated = true;
+      const mc::Violation minimized = mc::minimize(*model, *result.violation);
+      const mc::CounterExample cx = mc::make_counterexample(
+          model->name(), "", minimized, result);
+      std::fputs(mc::to_json(cx).c_str(), stdout);
+    }
+  }
+  return violated ? 1 : 0;
+}
+
+int counterexample_for(const std::string& id, int depth) {
+  const mc::Mutant& m = mc::mutant(id);
+  for (const auto& model : build_models(&m)) {
+    mc::ExplorerConfig config;
+    config.max_depth = depth;
+    const mc::ExploreResult result = mc::explore(*model, config);
+    if (result.ok()) continue;
+    const mc::Violation minimized = mc::minimize(*model, *result.violation);
+    const mc::CounterExample cx =
+        mc::make_counterexample(model->name(), m.id, minimized, result);
+    std::fputs(mc::to_json(cx).c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "mutant %s not caught at depth %d\n", id.c_str(),
+               depth);
+  return 1;
+}
+
+int self_test(int depth) {
+  int caught = 0;
+  int missed = 0;
+  for (const mc::Mutant& m : mc::all_mutants()) {
+    bool hit = false;
+    std::string found;
+    for (const auto& model : build_models(&m)) {
+      mc::ExplorerConfig config;
+      config.max_depth = depth;
+      const mc::ExploreResult result = mc::explore(*model, config);
+      if (!result.ok()) {
+        hit = true;
+        found = result.violation->invariant;
+        break;
+      }
+    }
+    const bool expected = hit && found == m.expect_invariant;
+    std::printf("mutant=%-26s %s (%s)\n", m.id.c_str(),
+                expected ? "caught" : "MISSED",
+                hit ? found.c_str() : "no violation");
+    if (expected) {
+      ++caught;
+    } else {
+      ++missed;
+    }
+  }
+  std::printf("self-test: %d caught, %d missed\n", caught, missed);
+  return missed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int depth = 8;
+  std::string only;
+  std::string mutant_id;
+  bool run_self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--depth") == 0 && i + 1 < argc) {
+      depth = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    } else if (std::strcmp(argv[i], "--mutant") == 0 && i + 1 < argc) {
+      mutant_id = argv[++i];
+    } else if (std::strcmp(argv[i], "--self-test") == 0) {
+      run_self_test = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--depth N] [--model vmtp|token|throttle] "
+                   "[--mutant ID] [--self-test]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (depth <= 0) {
+    std::fprintf(stderr, "--depth must be positive\n");
+    return 2;
+  }
+  if (!mutant_id.empty()) return counterexample_for(mutant_id, depth);
+  return run_self_test ? self_test(depth) : verify(depth, only);
+}

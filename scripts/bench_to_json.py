@@ -8,11 +8,11 @@ cpu_time; then runs bench_parallel_validation (a stats::Table text
 report) and converts each configuration's tokens/s into ns per token
 (1e9 / tokens_per_s) under parallel_validation.<workers>.
 
-The output (default BENCH_PR6.json) is what CI uploads as the per-build
+The output (default BENCH_PR7.json) is what CI uploads as the per-build
 performance artifact, so the schema is deliberately trivial: one flat
 object, names stable across runs, values in nanoseconds.
 
-Usage: bench_to_json.py --bindir build/bench [--out BENCH_PR6.json]
+Usage: bench_to_json.py --bindir build/bench [--out BENCH_PR7.json]
 """
 
 import argparse
@@ -67,7 +67,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bindir", default="build/bench",
                         help="directory holding the bench binaries")
-    parser.add_argument("--out", default="BENCH_PR6.json",
+    parser.add_argument("--out", default="BENCH_PR7.json",
                         help="output JSON path")
     args = parser.parse_args()
 

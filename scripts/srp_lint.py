@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """srp-lint: project-specific invariant passes for the Sirpent tree.
 
-Four passes over the C++ sources, each enforcing a contract that generic
+Five passes over the C++ sources, each enforcing a contract that generic
 linters cannot know about (DESIGN.md section 9):
 
   determinism     Simulation-visible code must be bit-reproducible: no
@@ -38,6 +38,17 @@ linters cannot know about (DESIGN.md section 9):
                   count as exactly one segment, mirroring what
                   metric_component() guarantees at runtime.
 
+  state-switch-default
+                  A `switch` over a protocol state-machine enum (type
+                  name ending in State, Result or Policy) must not have
+                  a `default:` label: enumerate every enumerator so
+                  that adding a state is a -Wswitch compile error
+                  instead of silently falling into the default.  The
+                  model checker (src/mc) explores exactly these
+                  machines; a default arm is an unexplored transition.
+                  Exemption: a preceding `// SRP_SWITCH_OK(reason)`
+                  comment on the line before the switch.
+
 The engine is a deliberate deviation from the original libclang plan:
 this container carries no clang binaries and no libclang Python
 bindings, and the repo rule is to never pip-install into CI.  The
@@ -53,6 +64,13 @@ Usage:
   python3 scripts/srp_lint.py                 # lint src/ (the default)
   python3 scripts/srp_lint.py --self-test     # run fixture self-checks
   python3 scripts/srp_lint.py path1 path2 ... # lint specific files/dirs
+  python3 scripts/srp_lint.py --jobs 8        # parallel per-file scan
+  python3 scripts/srp_lint.py --verbose       # per-pass wall times
+
+Output is deterministic regardless of --jobs: findings sort on
+(path, line, pass, message) and the cross-file stages (unordered-member
+collection, lock-graph cycle detection) always run after the per-file
+scans have been merged in input order.
 
 Exit codes: 0 clean, 1 findings, 2 usage or internal error.
 """
@@ -61,9 +79,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import re
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -525,33 +545,37 @@ def normalize_mutex(expr: str, class_name: str) -> str:
     return expr
 
 
-def pass_lock_order(sources: Sequence[SourceFile]) -> List[Finding]:
+def lock_edges(src: SourceFile) -> Dict[Tuple[str, str], Tuple[str, int]]:
+    """Lexical "acquired-while-held" edges of one file's functions."""
     # edge -> (path, line) of the acquisition that created it
     edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
-    for src in sources:
-        for fn in extract_functions(src):
-            body = src.code[fn.start : fn.end]
-            acquisitions: List[Tuple[int, int, str]] = []  # (depth, off, id)
-            depth = 0
-            idx = 0
-            lock_iter = list(MUTEXLOCK_RE.finditer(body))
-            lock_pos = {m.start(): m for m in lock_iter}
-            for i, c in enumerate(body):
-                if c == "{":
-                    depth += 1
-                elif c == "}":
-                    depth -= 1
-                    acquisitions = [a for a in acquisitions if a[0] <= depth]
-                if i in lock_pos:
-                    mutex_id = normalize_mutex(lock_pos[i].group(1),
-                                               fn.class_name)
-                    for _, _, held in acquisitions:
-                        if held != mutex_id:
-                            edges.setdefault(
-                                (held, mutex_id),
-                                (src.path, src.line_of(fn.start + i)))
-                    acquisitions.append((depth, i, mutex_id))
-    # cycle detection
+    for fn in extract_functions(src):
+        body = src.code[fn.start : fn.end]
+        acquisitions: List[Tuple[int, int, str]] = []  # (depth, off, id)
+        depth = 0
+        lock_iter = list(MUTEXLOCK_RE.finditer(body))
+        lock_pos = {m.start(): m for m in lock_iter}
+        for i, c in enumerate(body):
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                acquisitions = [a for a in acquisitions if a[0] <= depth]
+            if i in lock_pos:
+                mutex_id = normalize_mutex(lock_pos[i].group(1),
+                                           fn.class_name)
+                for _, _, held in acquisitions:
+                    if held != mutex_id:
+                        edges.setdefault(
+                            (held, mutex_id),
+                            (src.path, src.line_of(fn.start + i)))
+                acquisitions.append((depth, i, mutex_id))
+    return edges
+
+
+def lock_cycles(edges: Dict[Tuple[str, str], Tuple[str, int]]
+                ) -> List[Finding]:
+    """Cycle detection over the merged cross-file lock graph."""
     graph: Dict[str, Set[str]] = {}
     for a, b in edges:
         graph.setdefault(a, set()).add(b)
@@ -681,33 +705,181 @@ def pass_metric_names(sources: Sequence[SourceFile]) -> List[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# Pass 5: state-switch-default
+# ---------------------------------------------------------------------------
+
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+STATE_ENUM_SUFFIXES = ("State", "Result", "Policy")
+CASE_QUALIFIER_RE = re.compile(r"\bcase\s+((?:\w+\s*::\s*)+)")
+DEFAULT_LABEL_RE = re.compile(r"\bdefault\s*:")
+
+
+def switch_body_span(code: str, switch_start: int) -> Optional[Tuple[int, int]]:
+    """(open_brace, past_close_brace) of the switch statement's body."""
+    open_paren = code.find("(", switch_start)
+    if open_paren < 0:
+        return None
+    j = match_paren(code, open_paren)
+    while j < len(code) and code[j].isspace():
+        j += 1
+    if j >= len(code) or code[j] != "{":
+        return None
+    return j, match_brace(code, j)
+
+
+def pass_state_switch_default(sources: Sequence[SourceFile]) -> List[Finding]:
+    """Flag `default:` in switches over *State / *Result / *Policy enums.
+
+    The controlling enum is recognized from the `case Enum::kValue` labels
+    (the lexical scan has no type information), so a switch over plain
+    integers is never flagged.  A `default:` belonging to a nested switch
+    is attributed to that inner switch only.
+    """
+    findings: List[Finding] = []
+    for src in sources:
+        switch_ok = comment_exempt_lines(src, "SRP_SWITCH_OK")
+        spans = []  # (switch offset, body open, body end)
+        for m in SWITCH_RE.finditer(src.code):
+            span = switch_body_span(src.code, m.start())
+            if span is not None:
+                spans.append((m.start(), span[0], span[1]))
+        for offset, body_start, body_end in spans:
+            nested = [(s, e) for o, s, e in spans
+                      if body_start < s and e <= body_end]
+
+            def in_nested(i: int) -> bool:
+                return any(s < i < e for s, e in nested)
+
+            enums: Set[str] = set()
+            for c in CASE_QUALIFIER_RE.finditer(
+                    src.code, body_start, body_end):
+                if in_nested(c.start()):
+                    continue
+                qualifiers = [q for q in re.split(r"\s*::\s*", c.group(1)) if q]
+                if qualifiers and qualifiers[-1].endswith(STATE_ENUM_SUFFIXES):
+                    enums.add(qualifiers[-1])
+            if not enums:
+                continue
+            for d in DEFAULT_LABEL_RE.finditer(src.code, body_start, body_end):
+                if in_nested(d.start()):
+                    continue
+                if src.line_of(offset) in switch_ok:
+                    continue
+                enum_name = ", ".join(sorted(enums))
+                findings.append(Finding(
+                    "state-switch-default", src.path, src.line_of(d.start()),
+                    f"`default:` in switch over state enum `{enum_name}` — "
+                    "enumerate every enumerator so a new state is a "
+                    "-Wswitch error, not a silent fallthrough (or annotate "
+                    "SRP_SWITCH_OK with a reason)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
-PASSES = ("determinism", "hotpath-alloc", "lock-order", "metric-names")
+PASSES = ("determinism", "hotpath-alloc", "lock-order", "metric-names",
+          "state-switch-default")
+
+
+def load_source(path: str) -> SourceFile:
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            return parse_source(path, fh.read())
+    except OSError as err:
+        raise SystemExit(f"srp-lint: cannot read {path}: {err}")
+
+
+def members_of_file(path: str) -> List[str]:
+    """Worker: unordered-container member names declared in one file."""
+    return sorted(collect_unordered_members([load_source(path)]))
+
+
+# Per-file scan result: (findings, lock edges, per-pass seconds).  Lock
+# edges are merged by the driver — cycle detection is inherently global.
+ScanResult = Tuple[List[Finding], Dict[Tuple[str, str], Tuple[str, int]],
+                   Dict[str, float]]
+
+
+def scan_file(args: Tuple[str, Tuple[str, ...], Tuple[str, ...]]) -> ScanResult:
+    """Worker: every per-file pass over a single source file."""
+    path, selected_seq, members_seq = args
+    selected = set(selected_seq)
+    members = set(members_seq)
+    src = load_source(path)
+    findings: List[Finding] = []
+    edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+    timings: Dict[str, float] = {}
+
+    def timed(name: str, fn) -> List[Finding]:
+        t0 = time.perf_counter()
+        out = fn()
+        timings[name] = timings.get(name, 0.0) + time.perf_counter() - t0
+        return out
+
+    if "determinism" in selected:
+        findings += timed("determinism",
+                          lambda: pass_determinism([src], members))
+    if "hotpath-alloc" in selected:
+        findings += timed("hotpath-alloc",
+                          lambda: pass_hotpath_alloc([src]))
+    if "lock-order" in selected:
+        def collect() -> List[Finding]:
+            edges.update(lock_edges(src))
+            return []
+        timed("lock-order", collect)
+    if "metric-names" in selected:
+        findings += timed("metric-names", lambda: pass_metric_names([src]))
+    if "state-switch-default" in selected:
+        findings += timed("state-switch-default",
+                          lambda: pass_state_switch_default([src]))
+    return findings, edges, timings
 
 
 def run_passes(paths: Sequence[str],
-               only: Optional[Set[str]] = None) -> List[Finding]:
-    sources = []
-    for path in paths:
-        try:
-            with open(path, "r", encoding="utf-8", errors="replace") as fh:
-                sources.append(parse_source(path, fh.read()))
-        except OSError as err:
-            raise SystemExit(f"srp-lint: cannot read {path}: {err}")
+               only: Optional[Set[str]] = None,
+               jobs: int = 1,
+               timings_out: Optional[Dict[str, float]] = None
+               ) -> List[Finding]:
     selected = only or set(PASSES)
-    findings: List[Finding] = []
+    jobs = max(1, min(jobs, len(paths) or 1))
+
+    def pmap(fn, items):
+        if jobs == 1:
+            return [fn(item) for item in items]
+        with multiprocessing.Pool(jobs) as pool:
+            return pool.map(fn, items)
+
+    members: Set[str] = set()
     if "determinism" in selected:
-        members = collect_unordered_members(sources)
-        findings += pass_determinism(sources, members)
-    if "hotpath-alloc" in selected:
-        findings += pass_hotpath_alloc(sources)
+        t0 = time.perf_counter()
+        for chunk in pmap(members_of_file, list(paths)):
+            members.update(chunk)
+        if timings_out is not None:
+            timings_out["determinism"] = (timings_out.get("determinism", 0.0)
+                                          + time.perf_counter() - t0)
+
+    work = [(path, tuple(sorted(selected)), tuple(sorted(members)))
+            for path in paths]
+    findings: List[Finding] = []
+    edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+    for file_findings, file_edges, file_timings in pmap(scan_file, work):
+        findings += file_findings
+        for edge, where in file_edges.items():
+            edges.setdefault(edge, where)
+        if timings_out is not None:
+            for name, seconds in file_timings.items():
+                timings_out[name] = timings_out.get(name, 0.0) + seconds
+
     if "lock-order" in selected:
-        findings += pass_lock_order(sources)
-    if "metric-names" in selected:
-        findings += pass_metric_names(sources)
-    findings.sort(key=lambda f: (f.path, f.line))
+        t0 = time.perf_counter()
+        findings += lock_cycles(edges)
+        if timings_out is not None:
+            timings_out["lock-order"] = (timings_out.get("lock-order", 0.0)
+                                         + time.perf_counter() - t0)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.pass_name, f.message))
     return findings
 
 
@@ -757,6 +929,7 @@ def self_test() -> int:
         ("hotpath-alloc", "hotpath_alloc_bad.cpp", 2),
         ("lock-order", "lock_cycle_bad.cpp", 1),
         ("metric-names", "metric_name_bad.cpp", 2),
+        ("state-switch-default", "state_switch_default_bad.cpp", 2),
     ]
     failures = 0
     for pass_name, fixture, min_findings in cases:
@@ -795,7 +968,14 @@ def main(argv: Sequence[str]) -> int:
                         help="verify each pass against tests/lint_fixtures/")
     parser.add_argument("--pass", dest="only", action="append",
                         choices=PASSES, help="run only the named pass")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scan files on N worker processes (default 1); "
+                             "output is identical regardless of N")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-pass wall time after the scan")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.self_test:
         return self_test()
@@ -804,9 +984,21 @@ def main(argv: Sequence[str]) -> int:
     if not files:
         print("srp-lint: no input files", file=sys.stderr)
         return 2
-    findings = run_passes(files, set(args.only) if args.only else None)
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()
+    findings = run_passes(files, set(args.only) if args.only else None,
+                          jobs=args.jobs, timings_out=timings)
+    elapsed = time.perf_counter() - started
     for f in findings:
         print(f.render())
+    if args.verbose:
+        print(f"srp-lint: timings over {len(files)} file(s), "
+              f"jobs={args.jobs}:", file=sys.stderr)
+        for name in PASSES:
+            if name in timings:
+                print(f"  {name:<22} {timings[name]:8.3f}s",
+                      file=sys.stderr)
+        print(f"  {'total (wall)':<22} {elapsed:8.3f}s", file=sys.stderr)
     if findings:
         print(f"srp-lint: {len(findings)} finding(s) across "
               f"{len(files)} file(s)")

@@ -1,13 +1,14 @@
 #include "congestion/throttle.hpp"
 
-#include <algorithm>
 #include <limits>
 
 namespace srp::cc {
 
 SourceThrottle::SourceThrottle(sim::Simulator& sim, viper::ViperHost& host,
                                ThrottleConfig config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), config_(config),
+      core_config_{config.flow_ttl, config.ramp_factor, config.ramp_interval,
+                   config.rate_ceiling_bps} {
   host.set_control_handler(
       [this](wire::Bytes payload, int) { on_control(std::move(payload)); });
   sim_.after(config_.ramp_interval, [this] { tick(); });
@@ -21,11 +22,12 @@ void SourceThrottle::on_control(wire::Bytes payload) {
 
 void SourceThrottle::apply_report(const RateReport& report) {
   ++stats_.reports_received;
-  State& s = states_[FlowKey{report.router_id, report.port}];
-  s.rate_bps = report.rate_bps;
-  s.expires = sim_.now() + config_.flow_ttl;
-  s.last_report = sim_.now();
-  s.next_free = std::max(s.next_free, sim_.now());
+  ThrottleState& s = states_[FlowKey{report.router_id, report.port}];
+  ThrottleEvent event;
+  event.type = ThrottleEvent::Type::kReport;
+  event.rate_bps = report.rate_bps;
+  ThrottleActions actions;
+  s = step_(core_config_, s, event, sim_.now(), &actions);
 }
 
 double SourceThrottle::rate(const FlowKey& key) const {
@@ -37,26 +39,22 @@ double SourceThrottle::rate(const FlowKey& key) const {
 sim::Time SourceThrottle::acquire(const FlowKey& key, std::size_t bytes) {
   const auto it = states_.find(key);
   if (it == states_.end()) return sim_.now();
-  State& s = it->second;
-  const sim::Time start = std::max(sim_.now(), s.next_free);
-  s.next_free =
-      start + sim::from_seconds(static_cast<double>(bytes) * 8.0 /
-                                std::max(s.rate_bps, 1.0));
-  if (start > sim_.now()) ++stats_.sends_delayed;
-  return start;
+  ThrottleEvent event;
+  event.type = ThrottleEvent::Type::kAcquire;
+  event.bytes = bytes;
+  ThrottleActions actions;
+  it->second = step_(core_config_, it->second, event, sim_.now(), &actions);
+  if (actions.delayed) ++stats_.sends_delayed;
+  return actions.send_at;
 }
 
 void SourceThrottle::tick() {
+  ThrottleEvent event;
+  event.type = ThrottleEvent::Type::kTick;
   for (auto it = states_.begin(); it != states_.end();) {
-    State& s = it->second;
-    bool erase = false;
-    if (sim_.now() >= s.expires) {
-      erase = true;
-    } else if (sim_.now() - s.last_report >= config_.ramp_interval) {
-      s.rate_bps *= config_.ramp_factor;
-      if (s.rate_bps >= config_.rate_ceiling_bps) erase = true;
-    }
-    it = erase ? states_.erase(it) : std::next(it);
+    ThrottleActions actions;
+    it->second = step_(core_config_, it->second, event, sim_.now(), &actions);
+    it = actions.erase ? states_.erase(it) : std::next(it);
   }
   sim_.after(config_.ramp_interval, [this] { tick(); });
 }

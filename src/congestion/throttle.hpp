@@ -6,12 +6,19 @@
 // host's control endpoint and paces the host's transmissions toward each
 // congested downstream queue; rate-based transports (VMTP-style) consult
 // it before scheduling each packet.
+//
+// The per-flow state machine itself lives in congestion/throttle_core.hpp
+// — a pure step function shared with the bounded model checker (src/mc)
+// so the verified model and the shipping code cannot drift.  This class
+// is the thin driver: it owns the flow table, the control-packet plumbing
+// and the tick timer, and routes every transition through the core.
 #pragma once
 
 #include <cstdint>
 #include <map>
 
 #include "congestion/messages.hpp"
+#include "congestion/throttle_core.hpp"
 #include "sim/simulator.hpp"
 #include "viper/host.hpp"
 
@@ -48,20 +55,23 @@ class SourceThrottle {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
- private:
-  struct State {
-    double rate_bps = 0.0;
-    sim::Time next_free = 0;
-    sim::Time expires = 0;
-    sim::Time last_report = 0;
-  };
+  /// Number of flows currently throttled (soft state not yet expired).
+  [[nodiscard]] std::size_t active_flows() const { return states_.size(); }
 
+  /// Model-checker regression hook (tests/mc_regress): replaces the
+  /// transition core with a deliberately broken variant from mc::mutants
+  /// so counterexamples found by the explorer replay in the real sim.
+  void set_step_for_test(ThrottleStepFn step) { step_ = step; }
+
+ private:
   void on_control(wire::Bytes payload);
   void tick();
 
   sim::Simulator& sim_;
   ThrottleConfig config_;
-  std::map<FlowKey, State> states_;
+  ThrottleCoreConfig core_config_;
+  ThrottleStepFn step_ = &throttle_step;
+  std::map<FlowKey, ThrottleState> states_;
   Stats stats_;
 };
 

@@ -76,7 +76,7 @@ SRP_SIM_VISIBLE void FaultEngine::attach(net::TxPort& port) {
 
   if (lane.drop_rate > 0 || lane.corrupt_rate > 0 ||
       lane.duplicate_rate > 0 || lane.reorder_rate > 0 ||
-      lane.jitter_rate > 0) {
+      lane.jitter_rate > 0 || !lane.script.empty()) {
     port.fault_hook = [this, &state](net::PacketPtr& packet,
                                      net::TxMeta& meta,
                                      sim::Time& earliest_start) {
@@ -96,6 +96,53 @@ net::FaultVerdict FaultEngine::on_enqueue(PortState& state,
                                           sim::Time& earliest_start) {
   const LaneConfig& lane = state.lane;
   sim::Rng& rng = state.rng;
+
+  // Scripted lane first: deterministic faults keyed on the packet index,
+  // no RNG draw (counterexample replay must not disturb the random
+  // streams of any co-configured probabilistic lanes).
+  const std::uint64_t index = state.enqueues++;
+  for (const ScriptedFault& scripted : lane.script) {
+    if (scripted.packet_index != index) continue;
+    switch (scripted.action) {
+      case ScriptedFault::Action::kDrop:
+        state.dropped->add();
+        note(state.port->name(), "drop", packet->id);
+        return net::FaultVerdict::kDrop;
+      case ScriptedFault::Action::kCorrupt: {
+        if (packet->bytes.empty()) break;
+        net::PacketPtr damaged = clone_packet(*packet);
+        // Deterministic damage: invert the leading bytes, which breaks
+        // any sane framing the same way every replay.
+        for (std::size_t i = 0; i < 4 && i < damaged->bytes.size(); ++i) {
+          damaged->bytes[i] ^= 0xFF;
+        }
+        state.corrupted->add();
+        note(state.port->name(), "corrupt", packet->id);
+        packet = std::move(damaged);
+        break;
+      }
+      case ScriptedFault::Action::kDuplicate:
+        state.duplicated->add();
+        note(state.port->name(), "duplicate", packet->id);
+        sim_.after(std::max<sim::Time>(scripted.delay, 1),
+                   [port = state.port, copy = clone_packet(*packet), meta,
+                    earliest_start]() mutable {
+                     port->enqueue_unfiltered(std::move(copy), meta,
+                                              earliest_start);
+                   });
+        break;
+      case ScriptedFault::Action::kReorder:
+        state.reordered->add();
+        note(state.port->name(), "reorder", packet->id);
+        sim_.after(std::max<sim::Time>(scripted.delay, 1),
+                   [port = state.port, held = std::move(packet), meta,
+                    earliest_start]() mutable {
+                     port->enqueue_unfiltered(std::move(held), meta,
+                                              earliest_start);
+                   });
+        return net::FaultVerdict::kConsume;
+    }
+  }
 
   // Lane order is fixed — it is part of the seed-replay contract.
   if (lane.drop_rate > 0 && rng.chance(lane.drop_rate)) {
@@ -210,10 +257,21 @@ void FaultEngine::schedule_flap(net::TxPort& port, sim::Time down_at,
 
 void FaultEngine::attach_token_cache(const std::string& name,
                                      tokens::TokenCache& cache) {
-  if (plan_.token_poisons_per_second <= 0) return;
+  const bool scripted = !plan_.scripted_poisons.empty();
+  const bool random = plan_.token_poisons_per_second > 0;
+  if (!scripted && !random) return;
   stats::Counter& counter =
       registry_.counter("fault." + stats::metric_component(name) +
                         ".token_poison");
+  for (const FaultPlan::ScriptedPoison& poison : plan_.scripted_poisons) {
+    sim_.at(poison.at, [this, name, &cache, &counter, poison] {
+      if (cache.poison(poison.selector, poison.flag) > 0) {
+        counter.add();
+        note(name, "token_poison", poison.selector);
+      }
+    });
+  }
+  if (!random) return;
   schedule_next_poison(name, cache, stream_for(name + "/tokens"), counter);
 }
 

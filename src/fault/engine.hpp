@@ -66,6 +66,10 @@ class FaultEngine {
     net::TxPort* port = nullptr;
     LaneConfig lane;
     sim::Rng rng;
+    /// Filtered enqueues seen so far — the packet index the scripted lane
+    /// keys on (duplicates and re-held packets bypass the hook and are
+    /// not counted, so indices match the model's per-direction ordinals).
+    std::uint64_t enqueues = 0;
     stats::Counter* dropped = nullptr;
     stats::Counter* corrupted = nullptr;
     stats::Counter* duplicated = nullptr;

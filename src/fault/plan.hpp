@@ -14,10 +14,26 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/time.hpp"
 
 namespace srp::fault {
+
+/// One deterministic fault applied to the Nth packet enqueued on a port
+/// (0-based, counted over the port's whole run, duplicates and re-held
+/// packets excluded).  Scripted faults are how model-checker
+/// counterexamples (src/mc) replay through the real sim: the explorer's
+/// "drop message #3 on the client→server hop" converts mechanically to
+/// `{packet_index: 3, action: kDrop}` on that hop's port.  Unlike the
+/// probabilistic lanes, scripted faults draw no randomness at all.
+struct ScriptedFault {
+  enum class Action : std::uint8_t { kDrop, kCorrupt, kDuplicate, kReorder };
+  std::uint64_t packet_index = 0;
+  Action action = Action::kDrop;
+  /// kDuplicate: lag before the clone; kReorder: hold window.
+  sim::Time delay = 10 * sim::kMicrosecond;
+};
 
 /// Per-lane perturbation parameters for one simplex link.  All `*_rate`
 /// fields are per-packet Bernoulli probabilities drawn from the port's
@@ -52,10 +68,14 @@ struct LaneConfig {
   sim::Time flap_down_min = 100 * sim::kMicrosecond;
   sim::Time flap_down_max = 2 * sim::kMillisecond;
 
+  // --- scripted lane: deterministic faults by packet index ---
+  std::vector<ScriptedFault> script;
+
   /// True if any lane of this config can ever fire.
   [[nodiscard]] bool any() const {
     return drop_rate > 0 || corrupt_rate > 0 || duplicate_rate > 0 ||
-           reorder_rate > 0 || jitter_rate > 0 || flaps_per_second > 0;
+           reorder_rate > 0 || jitter_rate > 0 || flaps_per_second > 0 ||
+           !script.empty();
   }
 };
 
@@ -73,6 +93,15 @@ struct FaultPlan {
   /// recoverable failure).  true: the entry is marked bad, blocking its
   /// users until the endpoints route around the damage.
   bool token_poison_flag = false;
+
+  /// One deterministic poisoning of every attached cache at a fixed time
+  /// (counterexample replay, mirroring ScriptedFault for the wire lanes).
+  struct ScriptedPoison {
+    sim::Time at = 0;
+    bool flag = false;
+    std::uint64_t selector = 0;  ///< victim: sorted-key index mod size
+  };
+  std::vector<ScriptedPoison> scripted_poisons;
 
   /// The lane config governing @p port_name.
   [[nodiscard]] const LaneConfig& lane_for(

@@ -1,0 +1,43 @@
+// Counterexample traces: serialization and replay metadata (DESIGN.md §10).
+//
+// Every violation the explorer finds is minimized and frozen as a small
+// JSON document.  The documents under tests/mc_regress/ are the repo's
+// regression corpus: mc_test replays each through the *real* simulator by
+// converting it to a fault::FaultPlan (mc/replay.hpp) and asserting the
+// violation reproduces on the mutated core and is absent on the real one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/explorer.hpp"
+#include "mc/model.hpp"
+
+namespace srp::mc {
+
+struct CounterExample {
+  std::string model;        ///< Model::name()
+  std::string mutant;       ///< mc::mutants id that produced it ("" = real)
+  std::string invariant;    ///< violated invariant
+  std::vector<Event> events;
+  std::size_t states_visited = 0;  ///< explorer stats at discovery time
+  int depth = 0;                   ///< trace length
+
+  bool operator==(const CounterExample&) const = default;
+};
+
+/// Builds a counterexample record from an explorer violation.
+CounterExample make_counterexample(const std::string& model_name,
+                                   const std::string& mutant_id,
+                                   const Violation& violation,
+                                   const ExploreResult& result);
+
+/// Serializes to pretty-printed JSON (stable field order, trailing \n).
+std::string to_json(const CounterExample& cx);
+
+/// Parses a document produced by to_json (or hand-edited equivalently).
+/// Returns nullopt on malformed input.
+std::optional<CounterExample> from_json(const std::string& text);
+
+}  // namespace srp::mc

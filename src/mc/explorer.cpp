@@ -1,0 +1,170 @@
+#include "mc/explorer.hpp"
+
+#include <unordered_map>
+
+#include "check/contract.hpp"
+
+namespace srp::mc {
+namespace {
+
+/// One DFS stack entry: a state and the cursor into its enabled events.
+struct Frame {
+  StateBytes state;
+  std::vector<Event> events;
+  std::size_t next = 0;
+  std::uint64_t progress = 0;
+};
+
+/// True when some state of stack[cycle_start..] has a one-step successor
+/// with progress strictly above @p floor — i.e. the cycle can escape.
+bool cycle_can_escape(const Model& model, const std::vector<Frame>& stack,
+                      std::size_t cycle_start, std::uint64_t floor) {
+  std::vector<Event> events;
+  for (std::size_t i = cycle_start; i < stack.size(); ++i) {
+    events.clear();
+    model.enabled(stack[i].state, &events);
+    for (const Event& e : events) {
+      if (model.progress(model.apply(stack[i].state, e)) > floor) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ExploreResult explore(const Model& model, const ExplorerConfig& config) {
+  SIRPENT_EXPECTS(config.max_depth > 0);
+  ExploreResult result;
+
+  // Min depth at which each canonical state has been expanded; a state is
+  // re-expanded when reached strictly shallower so the depth bound never
+  // masks successors.
+  std::unordered_map<StateBytes, int> visited;
+  // Stack position of each state on the current DFS path (cycle check).
+  std::unordered_map<StateBytes, std::size_t> on_path;
+
+  const StateBytes root = model.initial();
+  {
+    const std::string bad = model.check(root);
+    if (!bad.empty()) {
+      result.states_visited = 1;
+      result.violation = Violation{bad, {}, root};
+      return result;
+    }
+  }
+
+  std::vector<Frame> stack;
+  std::vector<Event> trace;  // events leading to stack.back()
+  auto push = [&](StateBytes state) {
+    Frame frame;
+    frame.progress = model.progress(state);
+    model.enabled(state, &frame.events);
+    on_path.emplace(state, stack.size());
+    frame.state = std::move(state);
+    stack.push_back(std::move(frame));
+  };
+
+  visited.emplace(root, 0);
+  result.states_visited = 1;
+  push(root);
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const int depth = static_cast<int>(stack.size()) - 1;
+    if (depth > result.depth_reached) result.depth_reached = depth;
+
+    if (top.next >= top.events.size() || depth >= config.max_depth) {
+      on_path.erase(top.state);
+      stack.pop_back();
+      if (!trace.empty()) trace.pop_back();
+      continue;
+    }
+
+    const Event event = top.events[top.next++];
+    StateBytes next = model.apply(top.state, event);
+    ++result.transitions;
+
+    const std::string bad = model.check(next);
+    if (!bad.empty()) {
+      trace.push_back(event);
+      result.violation = Violation{bad, trace, std::move(next)};
+      return result;
+    }
+
+    const auto cycle = on_path.find(next);
+    if (cycle != on_path.end()) {
+      // Back-edge: the successor is on the current path.  A cycle none of
+      // whose states can step to higher progress is a livelock.
+      if (config.detect_livelock &&
+          !cycle_can_escape(model, stack, cycle->second,
+                            model.progress(next))) {
+        trace.push_back(event);
+        result.violation = Violation{"livelock", trace, std::move(next)};
+        return result;
+      }
+      continue;
+    }
+
+    const int next_depth = depth + 1;
+    const auto seen = visited.find(next);
+    if (seen != visited.end()) {
+      if (seen->second <= next_depth) continue;  // already expanded deeper
+      seen->second = next_depth;
+    } else {
+      if (config.max_states != 0 &&
+          result.states_visited >= config.max_states) {
+        result.truncated = true;
+        continue;
+      }
+      visited.emplace(next, next_depth);
+      ++result.states_visited;
+    }
+    trace.push_back(event);
+    push(std::move(next));
+  }
+  return result;
+}
+
+std::optional<StateBytes> replay(const Model& model,
+                                 const std::vector<Event>& trace) {
+  StateBytes state = model.initial();
+  std::vector<Event> events;
+  for (const Event& step : trace) {
+    events.clear();
+    model.enabled(state, &events);
+    bool legal = false;
+    for (const Event& e : events) {
+      if (e == step) {
+        legal = true;
+        break;
+      }
+    }
+    if (!legal) return std::nullopt;
+    state = model.apply(state, step);
+  }
+  return state;
+}
+
+Violation minimize(const Model& model, const Violation& violation) {
+  Violation best = violation;
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < best.trace.size(); ++i) {
+      std::vector<Event> candidate = best.trace;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      const auto end = replay(model, candidate);
+      if (!end.has_value()) continue;
+      if (model.check(*end) != best.invariant) continue;
+      best.trace = std::move(candidate);
+      best.state = *end;
+      shrunk = true;
+      break;  // restart scan: indices shifted
+    }
+  }
+  return best;
+}
+
+}  // namespace srp::mc

@@ -1,0 +1,64 @@
+// Explicit-state bounded model checker (DESIGN.md §10).
+//
+// Depth-first enumeration of every interleaving of the events a Model
+// enables — message deliveries, losses, duplications, reorderings and
+// timer firings — up to a configurable depth.  Visited states are
+// deduplicated on their canonical bytes; a state is re-expanded only when
+// reached at a strictly shallower depth than before (so the depth bound
+// never hides a reachable successor).  Every state is checked against the
+// model's invariants the moment it is generated, and cycles that cannot
+// escape to higher progress are reported as livelock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/model.hpp"
+
+namespace srp::mc {
+
+struct ExplorerConfig {
+  /// Maximum number of events along any single path.
+  int max_depth = 8;
+  /// Safety valve on total distinct states (0 = unlimited).
+  std::size_t max_states = 0;
+  /// Report cycles with no progress-increasing escape as "livelock".
+  bool detect_livelock = true;
+};
+
+/// An invariant violation plus the event path that reaches it.
+struct Violation {
+  std::string invariant;      ///< violated invariant (or "livelock")
+  std::vector<Event> trace;   ///< events from initial() to the bad state
+  StateBytes state;           ///< the violating state
+};
+
+struct ExploreResult {
+  std::size_t states_visited = 0;  ///< distinct canonical states seen
+  std::size_t transitions = 0;     ///< apply() calls made
+  int depth_reached = 0;           ///< deepest path expanded
+  bool truncated = false;          ///< max_states cut the search short
+  std::optional<Violation> violation;  ///< first violation found, if any
+
+  [[nodiscard]] bool ok() const { return !violation.has_value(); }
+};
+
+/// Exhaustively explores @p model under @p config.  Stops at the first
+/// violation (DFS order is deterministic, so the same violation is found
+/// every run).
+ExploreResult explore(const Model& model, const ExplorerConfig& config);
+
+/// Greedily shrinks @p trace: repeatedly drops events whose removal keeps
+/// the trace legal (every remaining event still enabled in sequence) and
+/// still ends in a state violating the same invariant.  Returns the
+/// minimized violation (state refreshed by replay).
+Violation minimize(const Model& model, const Violation& violation);
+
+/// Replays @p trace from initial(), requiring each event to be enabled at
+/// its turn.  Returns the final state, or nullopt if the trace is illegal.
+std::optional<StateBytes> replay(const Model& model,
+                                 const std::vector<Event>& trace);
+
+}  // namespace srp::mc

@@ -1,0 +1,127 @@
+// Model interface for the bounded model checker (DESIGN.md §10).
+//
+// A Model wraps one protocol state machine — built on the *same* pure
+// transition core the runtime drives (transport/txn_core.hpp,
+// tokens/token_core.hpp, congestion/throttle_core.hpp) — and exposes it
+// to the explorer as a labelled transition system:
+//
+//   initial()  ->  canonical state bytes
+//   enabled()  ->  the events the environment could deliver next
+//                  (message deliveries, losses, duplications, timer fires)
+//   apply()    ->  successor state for one event
+//   check()    ->  name of a violated invariant, or "" if all hold
+//   progress() ->  a measure that must be able to grow on some path from
+//                  every non-terminal state (livelock detection)
+//
+// States are *canonical bytes*: every model serializes its world with
+// CanonicalWriter so that equal protocol states produce equal strings
+// regardless of padding or container layout.  The explorer dedups on
+// exactly these bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srp::mc {
+
+/// Canonical state: explicit little-endian field bytes, no padding.
+using StateBytes = std::string;
+
+/// One transition label.  The numeric fields identify the event for
+/// apply(); the label renders it for humans and for counterexample JSON.
+struct Event {
+  std::uint8_t code = 0;  ///< model-defined event kind
+  std::uint8_t a = 0;     ///< model-defined operand
+  std::uint8_t b = 0;     ///< model-defined operand
+  std::uint32_t c = 0;    ///< model-defined operand
+  std::string label;      ///< human-readable, stable across runs
+
+  bool operator==(const Event& other) const {
+    return code == other.code && a == other.a && b == other.b &&
+           c == other.c;
+  }
+};
+
+/// Serializes state fields to canonical bytes.  Always write fields in a
+/// fixed order with fixed widths; never memcpy whole structs (padding).
+class CanonicalWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  [[nodiscard]] StateBytes take() { return std::move(out_); }
+
+ private:
+  StateBytes out_;
+};
+
+/// Reads fields back in the same order CanonicalWriter wrote them.
+class CanonicalReader {
+ public:
+  explicit CanonicalReader(const StateBytes& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{u8()} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{u8()} << (8 * i);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+ private:
+  const StateBytes& bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// One protocol machine presented to the explorer.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Stable machine name ("vmtp", "token", "throttle").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The single initial state.
+  [[nodiscard]] virtual StateBytes initial() const = 0;
+
+  /// Appends every event enabled in @p state to @p events.  Must be
+  /// deterministic and ordered (the explorer's DFS order — and therefore
+  /// which counterexample is found first — follows it).
+  virtual void enabled(const StateBytes& state,
+                       std::vector<Event>* events) const = 0;
+
+  /// The successor of @p state under @p event.  Must be deterministic.
+  [[nodiscard]] virtual StateBytes apply(const StateBytes& state,
+                                         const Event& event) const = 0;
+
+  /// Returns the name of a violated invariant, or "" if all hold.
+  [[nodiscard]] virtual std::string check(const StateBytes& state) const = 0;
+
+  /// True when the protocol run is over (no meaningful events remain).
+  [[nodiscard]] virtual bool terminal(const StateBytes& state) const = 0;
+
+  /// Monotone progress measure used for livelock detection: a cycle from
+  /// which no state can increase it is a livelock.
+  [[nodiscard]] virtual std::uint64_t progress(
+      const StateBytes& state) const = 0;
+
+  /// Names of every invariant check() can report (for --list output and
+  /// mutation-coverage accounting).
+  [[nodiscard]] virtual std::vector<std::string> invariants() const = 0;
+};
+
+}  // namespace srp::mc

@@ -1,0 +1,43 @@
+// Deliberately broken transition-core variants (DESIGN.md §10).
+//
+// The model checker's own regression story, following the srp-lint
+// `--self-test` idiom: each mutant wraps a real step function from
+// transport/txn_core.hpp, tokens/token_core.hpp or
+// congestion/throttle_core.hpp and corrupts one protocol decision.  The
+// explorer must catch every one with the expected invariant — if a core
+// bug of this shape ever ships, the model-check CI job fails.  Because
+// mutants share the runtime's function-pointer signatures, the same
+// broken core also plugs into the real endpoint / cache / throttle
+// (set_core_hooks_for_test / set_step_for_test), which is how the frozen
+// counterexamples under tests/mc_regress/ replay in the real sim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "congestion/throttle_core.hpp"
+#include "mc/model.hpp"
+#include "tokens/token_core.hpp"
+#include "transport/txn_core.hpp"
+
+namespace srp::mc {
+
+struct Mutant {
+  std::string id;       ///< stable name, e.g. "vmtp-rx-mask-stuck"
+  std::string machine;  ///< "vmtp" | "token" | "throttle"
+  /// The invariant the explorer must report for this mutant.
+  std::string expect_invariant;
+  // Exactly the hooks for `machine` are non-null; null means "real core".
+  vmtp::TxnStepFn txn = nullptr;
+  vmtp::RxStepFn rx = nullptr;
+  tokens::TokenStepFn token = nullptr;
+  cc::ThrottleStepFn throttle = nullptr;
+};
+
+/// Every registered mutant, in a stable order.
+const std::vector<Mutant>& all_mutants();
+
+/// The mutant with @p id; asserts it exists.
+const Mutant& mutant(const std::string& id);
+
+}  // namespace srp::mc

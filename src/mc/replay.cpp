@@ -1,0 +1,50 @@
+#include "mc/replay.hpp"
+
+#include "mc/token_model.hpp"
+#include "mc/vmtp_model.hpp"
+
+namespace srp::mc {
+
+fault::FaultPlan to_fault_plan(const CounterExample& cx,
+                               const ReplayBinding& binding) {
+  fault::FaultPlan plan;
+  plan.seed = binding.seed;
+  sim::Time next_poison = binding.poison_at;
+  for (const Event& event : cx.events) {
+    if (cx.model == "vmtp") {
+      const std::string& port = event.b == 0
+                                    ? binding.client_to_server_port
+                                    : binding.server_to_client_port;
+      fault::ScriptedFault scripted;
+      scripted.packet_index = event.c;
+      switch (event.code) {
+        case VmtpModel::kDrop:
+          scripted.action = fault::ScriptedFault::Action::kDrop;
+          break;
+        case VmtpModel::kDup:
+          scripted.action = fault::ScriptedFault::Action::kDuplicate;
+          break;
+        case VmtpModel::kCorrupt:
+          scripted.action = fault::ScriptedFault::Action::kCorrupt;
+          break;
+        default:
+          continue;  // deliveries and timer fires replay by themselves
+      }
+      plan.lane(port).script.push_back(scripted);
+    } else if (cx.model == "token") {
+      if (event.code != TokenModel::kPoisonForget &&
+          event.code != TokenModel::kPoisonFlag) {
+        continue;
+      }
+      fault::FaultPlan::ScriptedPoison poison;
+      poison.at = next_poison;
+      next_poison += binding.poison_spacing;
+      poison.flag = event.code == TokenModel::kPoisonFlag;
+      plan.scripted_poisons.push_back(poison);
+    }
+    // "throttle" events are not wire faults; nothing to script.
+  }
+  return plan;
+}
+
+}  // namespace srp::mc

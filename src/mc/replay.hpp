@@ -1,0 +1,44 @@
+// Counterexample → FaultPlan conversion (DESIGN.md §10).
+//
+// A VMTP counterexample's fault events carry everything a deterministic
+// replay needs: the direction of the affected packet (Event::b) and its
+// per-direction send ordinal (Event::c) — exactly the packet index the
+// fault engine's scripted lane counts.  The conversion is mechanical:
+//
+//   drop c2s req[1] #3   ->  lane("client→server port").script +=
+//                              {packet_index: 3, action: kDrop}
+//
+// Delivery and timer events need no scripting — the sim delivers and
+// fires timers on its own; only the *faults* must be reproduced.  Token
+// counterexamples map their poison events onto scripted cache poisons.
+// Throttle counterexamples contain no wire faults at all; tests replay
+// them by driving the SourceThrottle directly.
+#pragma once
+
+#include <string>
+
+#include "fault/plan.hpp"
+#include "mc/counterexample.hpp"
+
+namespace srp::mc {
+
+/// Names the real-topology objects the model's abstract world maps onto.
+struct ReplayBinding {
+  /// TxPort carrying client→server traffic (model direction 0).
+  std::string client_to_server_port;
+  /// TxPort carrying server→client traffic (model direction 1).
+  std::string server_to_client_port;
+  /// When scripted token poisons fire (successive poisons step by
+  /// @p poison_spacing).
+  sim::Time poison_at = sim::kMillisecond;
+  sim::Time poison_spacing = sim::kMillisecond;
+  /// Base seed of the produced plan (no randomness is drawn for the
+  /// scripted faults themselves).
+  std::uint64_t seed = 1;
+};
+
+/// Converts @p cx into a deterministic FaultPlan per @p binding.
+fault::FaultPlan to_fault_plan(const CounterExample& cx,
+                               const ReplayBinding& binding);
+
+}  // namespace srp::mc

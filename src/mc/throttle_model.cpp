@@ -1,0 +1,168 @@
+#include "mc/throttle_model.hpp"
+
+#include <bit>
+
+#include "check/contract.hpp"
+
+namespace srp::mc {
+namespace {
+
+using cc::ThrottleActions;
+using cc::ThrottleEvent;
+using cc::ThrottlePhase;
+using cc::ThrottleState;
+
+constexpr std::uint8_t kVioNone = 0;
+constexpr std::uint8_t kVioNextFree = 1;
+
+struct World {
+  ThrottleState core;
+  std::int64_t now = 0;
+  std::uint8_t report_budget = 0;
+  std::uint8_t acquire_budget = 0;
+  std::uint8_t tick_budget = 0;
+  std::uint8_t violation = kVioNone;
+};
+
+World decode(const StateBytes& bytes) {
+  CanonicalReader r(bytes);
+  World w;
+  w.core.phase = static_cast<ThrottlePhase>(r.u8());
+  w.core.rate_bps = std::bit_cast<double>(r.u64());
+  w.core.next_free = static_cast<std::int64_t>(r.u64());
+  w.core.expires = static_cast<std::int64_t>(r.u64());
+  w.core.last_report = static_cast<std::int64_t>(r.u64());
+  w.now = static_cast<std::int64_t>(r.u64());
+  w.report_budget = r.u8();
+  w.acquire_budget = r.u8();
+  w.tick_budget = r.u8();
+  w.violation = r.u8();
+  return w;
+}
+
+StateBytes encode(const World& w) {
+  CanonicalWriter out;
+  out.u8(static_cast<std::uint8_t>(w.core.phase));
+  out.u64(std::bit_cast<std::uint64_t>(w.core.rate_bps));
+  out.u64(static_cast<std::uint64_t>(w.core.next_free));
+  out.u64(static_cast<std::uint64_t>(w.core.expires));
+  out.u64(static_cast<std::uint64_t>(w.core.last_report));
+  out.u64(static_cast<std::uint64_t>(w.now));
+  out.u8(w.report_budget);
+  out.u8(w.acquire_budget);
+  out.u8(w.tick_budget);
+  out.u8(w.violation);
+  return out.take();
+}
+
+}  // namespace
+
+ThrottleModel::ThrottleModel(ThrottleScenario scenario,
+                             cc::ThrottleStepFn step)
+    : scenario_(scenario), step_(step) {
+  config_.ramp_interval = sim::kMillisecond;
+  config_.flow_ttl = 2 * config_.ramp_interval;
+  config_.ramp_factor = 2.0;
+  config_.rate_ceiling_bps = scenario_.rate_ceiling_bps;
+}
+
+StateBytes ThrottleModel::initial() const {
+  World w;
+  w.report_budget = scenario_.report_budget;
+  w.acquire_budget = scenario_.acquire_budget;
+  w.tick_budget = scenario_.tick_budget;
+  return encode(w);
+}
+
+void ThrottleModel::enabled(const StateBytes& state,
+                            std::vector<Event>* events) const {
+  const World w = decode(state);
+  if (w.violation != kVioNone) return;
+  if (w.report_budget > 0) {
+    events->push_back(Event{kReport, 0, 0, 0, "rate-report"});
+  }
+  if (w.acquire_budget > 0) {
+    events->push_back(Event{kAcquire, 0, 0, 0, "acquire"});
+  }
+  if (w.tick_budget > 0) {
+    events->push_back(Event{kTick, 0, 0, 0, "tick"});
+  }
+}
+
+StateBytes ThrottleModel::apply(const StateBytes& state,
+                                const Event& event) const {
+  World w = decode(state);
+  ThrottleEvent ev;
+  switch (event.code) {
+    case kReport:
+      --w.report_budget;
+      ev.type = ThrottleEvent::Type::kReport;
+      ev.rate_bps = scenario_.report_rate_bps;
+      break;
+    case kAcquire:
+      --w.acquire_budget;
+      ev.type = ThrottleEvent::Type::kAcquire;
+      ev.bytes = 125;  // one abstract packet: 1000 bits
+      break;
+    case kTick:
+      --w.tick_budget;
+      // The sweep visits once per ramp interval; abstract time advances
+      // with it (ticks are the only clock in this world).
+      w.now += config_.ramp_interval;
+      ev.type = ThrottleEvent::Type::kTick;
+      break;
+    default:
+      SIRPENT_INVARIANT(false);
+  }
+  ThrottleActions actions;
+  const ThrottleState pre = w.core;
+  ThrottleState post = step_(config_, pre, ev, w.now, &actions);
+  if (actions.erase) post = ThrottleState{};  // driver drops the entry
+  if (post.next_free < pre.next_free) {
+    // The pacing cursor ran backwards: already-granted send slots would
+    // be re-granted, overcommitting the link.
+    if (!actions.erase) w.violation = kVioNextFree;
+  }
+  w.core = post;
+  return encode(w);
+}
+
+std::string ThrottleModel::check(const StateBytes& state) const {
+  const World w = decode(state);
+  if (w.violation == kVioNextFree) return "next-free-monotone";
+  if (w.core.phase == ThrottlePhase::kActive &&
+      w.core.rate_bps >= config_.rate_ceiling_bps) {
+    // Ramping past the ceiling must release the flow, not keep policing
+    // it at an absurd rate.
+    return "rate-below-ceiling";
+  }
+  if (w.tick_budget == 0 && w.core.phase == ThrottlePhase::kActive &&
+      w.now >= w.core.expires) {
+    // Enough quiet ticks have passed to cover the TTL, yet the entry is
+    // still policing the flow: the throttle never expires.
+    return "throttle-expires";
+  }
+  return "";
+}
+
+bool ThrottleModel::terminal(const StateBytes& state) const {
+  const World w = decode(state);
+  return w.report_budget == 0 && w.acquire_budget == 0 &&
+         w.tick_budget == 0;
+}
+
+std::uint64_t ThrottleModel::progress(const StateBytes& state) const {
+  const World w = decode(state);
+  const std::uint64_t consumed =
+      (scenario_.report_budget - w.report_budget) +
+      (scenario_.acquire_budget - w.acquire_budget) +
+      (scenario_.tick_budget - w.tick_budget);
+  return consumed * 10 +
+         (w.core.phase == ThrottlePhase::kAbsent ? 1 : 0);
+}
+
+std::vector<std::string> ThrottleModel::invariants() const {
+  return {"throttle-expires", "rate-below-ceiling", "next-free-monotone"};
+}
+
+}  // namespace srp::mc

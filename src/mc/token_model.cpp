@@ -1,0 +1,263 @@
+#include "mc/token_model.hpp"
+
+#include "check/contract.hpp"
+
+namespace srp::mc {
+namespace {
+
+using tokens::ChargeResult;
+using tokens::EntryPhase;
+using tokens::TokenActions;
+using tokens::TokenCoreState;
+using tokens::TokenEvent;
+using tokens::UncachedPolicy;
+
+constexpr std::uint8_t kVioNone = 0;
+constexpr std::uint8_t kVioFlaggedCharged = 1;
+constexpr std::uint8_t kVioOverLimit = 2;
+constexpr std::uint8_t kVioUnsettled = 3;
+
+const char* violation_name(std::uint8_t code) {
+  switch (code) {
+    case kVioFlaggedCharged:
+      return "flagged-never-charged";
+    case kVioOverLimit:
+      return "charge-within-limit";
+    case kVioUnsettled:
+      return "optimistic-settled";
+    default:
+      return "";
+  }
+}
+
+struct World {
+  std::uint8_t phase = 0;  ///< EntryPhase of the cache entry
+  std::uint8_t bytes_charged = 0;
+  std::uint8_t verify_pending = 0;
+  std::uint8_t optimistic_outstanding = 0;  ///< unsettled admit (0/1)
+  std::uint8_t held = 0;       ///< packets parked by the blocking policy
+  std::uint8_t packets_left = 0;
+  std::uint8_t poison_budget = 0;
+  std::uint8_t ledger = 0;     ///< bytes charged to the account
+  std::uint8_t forwarded = 0;  ///< bytes actually forwarded
+  std::uint8_t violation = kVioNone;
+};
+
+World decode(const StateBytes& bytes) {
+  CanonicalReader r(bytes);
+  World w;
+  w.phase = r.u8();
+  w.bytes_charged = r.u8();
+  w.verify_pending = r.u8();
+  w.optimistic_outstanding = r.u8();
+  w.held = r.u8();
+  w.packets_left = r.u8();
+  w.poison_budget = r.u8();
+  w.ledger = r.u8();
+  w.forwarded = r.u8();
+  w.violation = r.u8();
+  return w;
+}
+
+StateBytes encode(const World& w) {
+  CanonicalWriter out;
+  out.u8(w.phase);
+  out.u8(w.bytes_charged);
+  out.u8(w.verify_pending);
+  out.u8(w.optimistic_outstanding);
+  out.u8(w.held);
+  out.u8(w.packets_left);
+  out.u8(w.poison_budget);
+  out.u8(w.ledger);
+  out.u8(w.forwarded);
+  out.u8(w.violation);
+  return out.take();
+}
+
+}  // namespace
+
+StateBytes TokenModel::initial() const {
+  World w;
+  w.phase = static_cast<std::uint8_t>(EntryPhase::kAbsent);
+  w.packets_left = scenario_.packets;
+  w.poison_budget = scenario_.poison_budget;
+  return encode(w);
+}
+
+void TokenModel::enabled(const StateBytes& state,
+                         std::vector<Event>* events) const {
+  const World w = decode(state);
+  if (w.violation != kVioNone) return;
+  if (w.packets_left > 0) {
+    events->push_back(Event{kPacket, 0, 0, 0, "packet-arrives"});
+  }
+  if (w.verify_pending != 0) {
+    events->push_back(Event{kVerifyOk, 0, 0, 0, "verify-ok"});
+    events->push_back(Event{kVerifyBad, 0, 0, 0, "verify-bad"});
+  }
+  const bool entry_cached =
+      w.phase == static_cast<std::uint8_t>(EntryPhase::kValid) ||
+      w.phase == static_cast<std::uint8_t>(EntryPhase::kFlagged);
+  if (w.poison_budget > 0 && entry_cached) {
+    events->push_back(Event{kPoisonForget, 0, 0, 0, "poison-forget"});
+    events->push_back(Event{kPoisonFlag, 0, 0, 0, "poison-flag"});
+  }
+}
+
+StateBytes TokenModel::apply(const StateBytes& state,
+                             const Event& event) const {
+  World w = decode(state);
+
+  auto core_of = [&] {
+    TokenCoreState core;
+    core.phase = static_cast<EntryPhase>(w.phase);
+    core.bytes_charged = w.bytes_charged;
+    core.byte_limit = scenario_.byte_limit;
+    return core;
+  };
+  auto write_back = [&](const TokenCoreState& core) {
+    w.phase = static_cast<std::uint8_t>(core.phase);
+    w.bytes_charged = static_cast<std::uint8_t>(core.bytes_charged);
+  };
+
+  // One packet attempts to pass the router's charge path (1 byte each);
+  // models TokenCache::charge plus the ledger coupling.
+  auto charge_one = [&] {
+    TokenEvent ev;
+    ev.type = TokenEvent::Type::kCharge;
+    ev.bytes = 1;
+    TokenActions actions;
+    const TokenCoreState pre = core_of();
+    const TokenCoreState post = step_(pre, ev, &actions);
+    if (actions.charge_result == ChargeResult::kCharged &&
+        pre.phase == EntryPhase::kFlagged) {
+      w.violation = kVioFlaggedCharged;
+      return;
+    }
+    write_back(post);
+    if (actions.charge_result == ChargeResult::kCharged) {
+      ++w.forwarded;
+      if (actions.ledger_charge) ++w.ledger;
+    }
+  };
+
+  switch (event.code) {
+    case kPacket: {
+      --w.packets_left;
+      const bool entry_cached =
+          w.phase == static_cast<std::uint8_t>(EntryPhase::kValid) ||
+          w.phase == static_cast<std::uint8_t>(EntryPhase::kFlagged);
+      if (entry_cached) {
+        charge_one();
+        break;
+      }
+      // Cache miss: verification starts (or is already in flight) and the
+      // packet's fate follows the uncached policy (paper §2.1).
+      const bool first_miss = w.verify_pending == 0;
+      w.verify_pending = 1;
+      switch (scenario_.policy) {
+        case UncachedPolicy::kOptimistic:
+          ++w.forwarded;
+          // Only the first packet's bytes enter the settle obligation
+          // (viper::Router records first_packet_bytes once).
+          if (first_miss) w.optimistic_outstanding = 1;
+          break;
+        case UncachedPolicy::kBlocking:
+          if (w.held < 2) ++w.held;
+          break;
+        case UncachedPolicy::kDrop:
+          break;
+      }
+      break;
+    }
+    case kVerifyOk:
+    case kVerifyBad: {
+      const bool good = event.code == kVerifyOk;
+      w.verify_pending = 0;
+      TokenEvent ev;
+      ev.type = good ? TokenEvent::Type::kVerifyOk
+                     : TokenEvent::Type::kVerifyBad;
+      ev.byte_limit = scenario_.byte_limit;
+      ev.settle_bytes = w.optimistic_outstanding;
+      TokenActions actions;
+      const TokenCoreState post = step_(core_of(), ev, &actions);
+      write_back(post);
+      if (w.optimistic_outstanding != 0) {
+        if (!good && actions.settle_charged > 0) {
+          // Settling an admit against a token that verified bad charges
+          // an account that authorized nothing.
+          w.violation = kVioFlaggedCharged;
+          break;
+        }
+        if (actions.settle_charged == 0 && !actions.settle_dropped) {
+          // The obligation evaporated: neither charged nor written off.
+          w.violation = kVioUnsettled;
+          break;
+        }
+        w.ledger = static_cast<std::uint8_t>(
+            w.ledger + (actions.ledger_charge ? actions.settle_charged : 0));
+        w.optimistic_outstanding = 0;
+      }
+      // Blocking policy: held packets re-enter the admit path and charge
+      // against the now-cached entry.
+      while (w.held > 0 && w.violation == kVioNone) {
+        --w.held;
+        charge_one();
+      }
+      break;
+    }
+    case kPoisonForget:
+    case kPoisonFlag: {
+      --w.poison_budget;
+      TokenEvent ev;
+      ev.type = event.code == kPoisonForget
+                    ? TokenEvent::Type::kPoisonForget
+                    : TokenEvent::Type::kPoisonFlag;
+      TokenActions actions;
+      const TokenCoreState post = step_(core_of(), ev, &actions);
+      if (actions.erase) {
+        w.phase = static_cast<std::uint8_t>(EntryPhase::kAbsent);
+        w.bytes_charged = 0;
+      } else {
+        write_back(post);
+      }
+      break;
+    }
+    default:
+      SIRPENT_INVARIANT(false);
+  }
+  return encode(w);
+}
+
+std::string TokenModel::check(const StateBytes& state) const {
+  const World w = decode(state);
+  if (w.violation != kVioNone) return violation_name(w.violation);
+  if (w.phase == static_cast<std::uint8_t>(tokens::EntryPhase::kValid) &&
+      w.bytes_charged > scenario_.byte_limit) {
+    return "charge-within-limit";
+  }
+  if (w.ledger > w.forwarded) return "no-double-charge";
+  return "";
+}
+
+bool TokenModel::terminal(const StateBytes& state) const {
+  const World w = decode(state);
+  return w.packets_left == 0 && w.verify_pending == 0 && w.held == 0 &&
+         w.poison_budget == 0;
+}
+
+std::uint64_t TokenModel::progress(const StateBytes& state) const {
+  const World w = decode(state);
+  // Consumed budgets only ever grow.
+  return static_cast<std::uint64_t>(scenario_.packets - w.packets_left) *
+             10 +
+         (scenario_.poison_budget - w.poison_budget) * 10 + w.forwarded +
+         w.ledger;
+}
+
+std::vector<std::string> TokenModel::invariants() const {
+  return {"flagged-never-charged", "charge-within-limit",
+          "optimistic-settled", "no-double-charge"};
+}
+
+}  // namespace srp::mc

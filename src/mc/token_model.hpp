@@ -1,0 +1,56 @@
+// Token-cache soft-state model for the bounded checker (DESIGN.md §10).
+//
+// Wraps the pure transition core the router's TokenCache drives
+// (tokens/token_core.hpp) in a one-token world: a bounded stream of
+// packets arrives at a router under one UncachedPolicy, verification
+// completes good or bad at any time relative to them, and the fault
+// plane may poison the entry.  Invariants pin down the paper's
+// accounting story: a flagged token never charges, charges never exceed
+// the byte limit, the optimistic first-packet admit is settled exactly
+// once, and the ledger never exceeds what was actually forwarded.
+#pragma once
+
+#include "mc/model.hpp"
+#include "tokens/cache.hpp"
+#include "tokens/token_core.hpp"
+
+namespace srp::mc {
+
+struct TokenScenario {
+  tokens::UncachedPolicy policy = tokens::UncachedPolicy::kOptimistic;
+  std::uint8_t packets = 3;       ///< packets the source will send
+  std::uint8_t byte_limit = 2;    ///< token's byte limit (1 byte/packet)
+  std::uint8_t poison_budget = 1;
+};
+
+class TokenModel : public Model {
+ public:
+  explicit TokenModel(TokenScenario scenario = {},
+                      tokens::TokenStepFn step = &tokens::token_step)
+      : scenario_(scenario), step_(step) {}
+
+  [[nodiscard]] std::string name() const override { return "token"; }
+  [[nodiscard]] StateBytes initial() const override;
+  void enabled(const StateBytes& state,
+               std::vector<Event>* events) const override;
+  [[nodiscard]] StateBytes apply(const StateBytes& state,
+                                 const Event& event) const override;
+  [[nodiscard]] std::string check(const StateBytes& state) const override;
+  [[nodiscard]] bool terminal(const StateBytes& state) const override;
+  [[nodiscard]] std::uint64_t progress(
+      const StateBytes& state) const override;
+  [[nodiscard]] std::vector<std::string> invariants() const override;
+
+  // Event codes.
+  static constexpr std::uint8_t kPacket = 1;
+  static constexpr std::uint8_t kVerifyOk = 2;
+  static constexpr std::uint8_t kVerifyBad = 3;
+  static constexpr std::uint8_t kPoisonForget = 4;
+  static constexpr std::uint8_t kPoisonFlag = 5;
+
+ private:
+  TokenScenario scenario_;
+  tokens::TokenStepFn step_;
+};
+
+}  // namespace srp::mc

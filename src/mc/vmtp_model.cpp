@@ -1,0 +1,514 @@
+#include "mc/vmtp_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <tuple>
+
+#include "check/contract.hpp"
+
+namespace srp::mc {
+namespace {
+
+using vmtp::RxActions;
+using vmtp::RxEvent;
+using vmtp::RxState;
+using vmtp::TxnActions;
+using vmtp::TxnConfig;
+using vmtp::TxnEvent;
+using vmtp::TxnPhase;
+using vmtp::TxnState;
+
+// Message kinds on the wire.
+constexpr std::uint8_t kReqPart = 0;
+constexpr std::uint8_t kRespPart = 1;
+constexpr std::uint8_t kNackMsg = 2;
+
+// Violation codes stored in World::violation.
+constexpr std::uint8_t kVioNone = 0;
+constexpr std::uint8_t kVioPartRecorded = 1;
+constexpr std::uint8_t kVioResendMissing = 2;
+constexpr std::uint8_t kVioCorruptAccept = 3;
+constexpr std::uint8_t kVioDeliverLost = 4;
+
+const char* violation_name(std::uint8_t code) {
+  switch (code) {
+    case kVioPartRecorded:
+      return "part-recorded";
+    case kVioResendMissing:
+      return "retransmit-only-missing";
+    case kVioCorruptAccept:
+      return "no-corrupted-accept";
+    case kVioDeliverLost:
+      return "response-delivered";
+    default:
+      return "";
+  }
+}
+
+struct Msg {
+  std::uint8_t dir = 0;   ///< 0 = client->server, 1 = server->client
+  std::uint8_t kind = kReqPart;
+  std::uint8_t index = 0;
+  std::uint8_t corrupted = 0;
+  std::uint32_t mask = 0;  ///< kNackMsg: sender's received mask
+  std::uint8_t seq = 0;    ///< per-direction send ordinal (packet index)
+
+  [[nodiscard]] auto key() const {
+    return std::tie(dir, kind, index, corrupted, mask, seq);
+  }
+};
+
+struct World {
+  std::uint8_t phase = 0;  ///< TxnPhase of the client transaction
+  std::uint8_t retries = 0;
+  RxState client_rx;  ///< response reassembly at the client
+  RxState server_rx;  ///< request reassembly at the server
+  std::uint8_t responded = 0;
+  std::uint8_t rto_armed = 1;
+  std::uint8_t sgap_armed = 0;
+  std::uint8_t cgap_armed = 0;
+  std::uint8_t drop_budget = 0;
+  std::uint8_t dup_budget = 0;
+  std::uint8_t corrupt_budget = 0;
+  std::uint8_t cs_sent = 0;  ///< client->server packets sent (saturating)
+  std::uint8_t sc_sent = 0;
+  std::uint8_t violation = kVioNone;
+  std::vector<Msg> msgs;   ///< kept canonically sorted
+};
+
+World decode(const StateBytes& bytes) {
+  CanonicalReader r(bytes);
+  World w;
+  w.phase = r.u8();
+  w.retries = r.u8();
+  w.client_rx.group_size = r.u8();
+  w.client_rx.mask = r.u32();
+  w.server_rx.group_size = r.u8();
+  w.server_rx.mask = r.u32();
+  w.responded = r.u8();
+  w.rto_armed = r.u8();
+  w.sgap_armed = r.u8();
+  w.cgap_armed = r.u8();
+  w.drop_budget = r.u8();
+  w.dup_budget = r.u8();
+  w.corrupt_budget = r.u8();
+  w.cs_sent = r.u8();
+  w.sc_sent = r.u8();
+  w.violation = r.u8();
+  const std::uint8_t n = r.u8();
+  w.msgs.resize(n);
+  for (Msg& m : w.msgs) {
+    m.dir = r.u8();
+    m.kind = r.u8();
+    m.index = r.u8();
+    m.corrupted = r.u8();
+    m.mask = r.u32();
+    m.seq = r.u8();
+  }
+  return w;
+}
+
+StateBytes encode(World w) {
+  std::sort(w.msgs.begin(), w.msgs.end(),
+            [](const Msg& a, const Msg& b) { return a.key() < b.key(); });
+  CanonicalWriter out;
+  out.u8(w.phase);
+  out.u8(w.retries);
+  out.u8(w.client_rx.group_size);
+  out.u32(w.client_rx.mask);
+  out.u8(w.server_rx.group_size);
+  out.u32(w.server_rx.mask);
+  out.u8(w.responded);
+  out.u8(w.rto_armed);
+  out.u8(w.sgap_armed);
+  out.u8(w.cgap_armed);
+  out.u8(w.drop_budget);
+  out.u8(w.dup_budget);
+  out.u8(w.corrupt_budget);
+  out.u8(w.cs_sent);
+  out.u8(w.sc_sent);
+  out.u8(w.violation);
+  out.u8(static_cast<std::uint8_t>(w.msgs.size()));
+  for (const Msg& m : w.msgs) {
+    out.u8(m.dir);
+    out.u8(m.kind);
+    out.u8(m.index);
+    out.u8(m.corrupted);
+    out.u32(m.mask);
+    out.u8(m.seq);
+  }
+  return out.take();
+}
+
+constexpr std::uint8_t kSeqSaturate = 200;
+
+std::uint8_t bump(std::uint8_t& counter) {
+  const std::uint8_t seq = counter;
+  if (counter < kSeqSaturate) ++counter;
+  return seq;
+}
+
+void push(World& w, std::uint8_t cap, Msg msg) {
+  // Tail-drop beyond the channel cap: the world stays bounded; the send
+  // ordinal was still consumed (the wire saw the packet).
+  if (w.msgs.size() < cap) w.msgs.push_back(msg);
+}
+
+const char* dir_name(std::uint8_t dir) {
+  return dir == 0 ? "c2s" : "s2c";
+}
+
+const char* kind_name(std::uint8_t kind) {
+  switch (kind) {
+    case kReqPart:
+      return "req";
+    case kRespPart:
+      return "resp";
+    default:
+      return "nack";
+  }
+}
+
+std::string msg_label(const char* verb, const Msg& m) {
+  std::string label = verb;
+  label += ' ';
+  label += dir_name(m.dir);
+  label += ' ';
+  label += kind_name(m.kind);
+  if (m.kind != kNackMsg) {
+    label += '[';
+    label += std::to_string(m.index);
+    label += ']';
+  }
+  label += " #";
+  label += std::to_string(m.seq);
+  return label;
+}
+
+}  // namespace
+
+StateBytes VmtpModel::initial() const {
+  World w;
+  w.phase = static_cast<std::uint8_t>(TxnPhase::kAwaitingResponse);
+  w.drop_budget = scenario_.drop_budget;
+  w.dup_budget = scenario_.dup_budget;
+  w.corrupt_budget = scenario_.corrupt_budget;
+  // invoke(): the whole request group goes out and the RTO is armed.
+  for (std::uint8_t i = 0; i < scenario_.request_parts; ++i) {
+    Msg m;
+    m.dir = 0;
+    m.kind = kReqPart;
+    m.index = i;
+    m.seq = bump(w.cs_sent);
+    push(w, scenario_.channel_cap, m);
+  }
+  w.rto_armed = 1;
+  return encode(w);
+}
+
+void VmtpModel::enabled(const StateBytes& state,
+                        std::vector<Event>* events) const {
+  const World w = decode(state);
+  if (w.violation != kVioNone) return;
+  for (std::size_t i = 0; i < w.msgs.size(); ++i) {
+    const Msg& m = w.msgs[i];
+    const std::uint8_t slot = static_cast<std::uint8_t>(i);
+    events->push_back(
+        Event{kDeliver, slot, m.dir, m.seq, msg_label("deliver", m)});
+    if (w.drop_budget > 0) {
+      events->push_back(
+          Event{kDrop, slot, m.dir, m.seq, msg_label("drop", m)});
+    }
+    if (w.dup_budget > 0 && m.corrupted == 0) {
+      events->push_back(
+          Event{kDup, slot, m.dir, m.seq, msg_label("dup", m)});
+    }
+    if (w.corrupt_budget > 0 && m.corrupted == 0 && m.kind != kNackMsg) {
+      events->push_back(
+          Event{kCorrupt, slot, m.dir, m.seq, msg_label("corrupt", m)});
+    }
+  }
+  if (w.rto_armed != 0 &&
+      w.phase == static_cast<std::uint8_t>(TxnPhase::kAwaitingResponse)) {
+    events->push_back(Event{kRtoFire, 0, 0, 0, "rto-fire"});
+  }
+  if (w.sgap_armed != 0) {
+    events->push_back(Event{kServerGapFire, 0, 0, 0, "server-gap-fire"});
+  }
+  if (w.cgap_armed != 0) {
+    events->push_back(Event{kClientGapFire, 0, 0, 0, "client-gap-fire"});
+  }
+}
+
+StateBytes VmtpModel::apply(const StateBytes& state,
+                            const Event& event) const {
+  World w = decode(state);
+  const TxnConfig config{scenario_.max_retries};
+  const std::uint8_t awaiting =
+      static_cast<std::uint8_t>(TxnPhase::kAwaitingResponse);
+
+  // Server-side send of the full response group (fresh or duplicate).
+  auto send_response = [&](World& world) {
+    for (std::uint8_t i = 0; i < scenario_.response_parts; ++i) {
+      Msg m;
+      m.dir = 1;
+      m.kind = kRespPart;
+      m.index = i;
+      m.seq = bump(world.sc_sent);
+      push(world, scenario_.channel_cap, m);
+    }
+  };
+
+  // Shared reassembly step with its transition invariants.
+  auto run_rx = [&](RxState& rx, const Msg& m, std::uint8_t group,
+                    RxActions* actions) {
+    RxEvent ev;
+    ev.type = RxEvent::Type::kPart;
+    ev.index = m.index;
+    ev.group_size = group;
+    ev.corrupted = m.corrupted != 0;
+    const RxState pre = rx;
+    const RxState post = rx_(pre, ev, actions);
+    if (m.corrupted != 0) {
+      // The no-ack-for-corrupted-request bet: damaged parts must be
+      // dropped, never recorded or acknowledged.
+      if (actions->part_ok || actions->accept || actions->complete) {
+        w.violation = kVioCorruptAccept;
+      }
+      return;  // discard: the runtime's decoder never admits these
+    }
+    if (actions->accept &&
+        post.mask != (pre.mask | (1u << m.index))) {
+      w.violation = kVioPartRecorded;
+    }
+    rx = post;
+  };
+
+  switch (event.code) {
+    case kDrop: {
+      w.msgs.erase(w.msgs.begin() + event.a);
+      --w.drop_budget;
+      break;
+    }
+    case kDup: {
+      const Msg copy = w.msgs[event.a];
+      --w.dup_budget;
+      push(w, scenario_.channel_cap, copy);
+      break;
+    }
+    case kCorrupt: {
+      w.msgs[event.a].corrupted = 1;
+      --w.corrupt_budget;
+      break;
+    }
+    case kDeliver: {
+      const Msg m = w.msgs[event.a];
+      w.msgs.erase(w.msgs.begin() + event.a);
+      if (m.dir == 0) {
+        // --- at the server ---
+        if (m.kind == kNackMsg) {
+          // Client wants missing response parts; stateless served-memory
+          // path using the shared missing-bitmask helper.
+          if (w.responded != 0) {
+            const std::uint32_t missing =
+                vmtp::missing_mask(m.mask, scenario_.response_parts);
+            for (std::uint8_t i = 0; i < scenario_.response_parts; ++i) {
+              if ((missing & (1u << i)) == 0) continue;
+              Msg part;
+              part.dir = 1;
+              part.kind = kRespPart;
+              part.index = i;
+              part.seq = bump(w.sc_sent);
+              push(w, scenario_.channel_cap, part);
+            }
+          }
+          break;
+        }
+        if (m.corrupted != 0) {
+          RxActions actions;
+          run_rx(w.server_rx, m, scenario_.request_parts, &actions);
+          break;
+        }
+        if (w.responded != 0) {
+          // Duplicate of a served request: re-send the response.
+          send_response(w);
+          break;
+        }
+        RxActions actions;
+        run_rx(w.server_rx, m, scenario_.request_parts, &actions);
+        if (w.violation != kVioNone) break;
+        if (actions.complete) {
+          w.responded = 1;
+          w.sgap_armed = 0;
+          w.server_rx = RxState{};  // inbound_ entry erased
+          send_response(w);
+        } else if (actions.arm_gap) {
+          w.sgap_armed = 1;
+        }
+        break;
+      }
+      // --- at the client ---
+      if (w.phase != awaiting) break;  // transaction already finished
+      if (m.kind == kNackMsg) {
+        TxnEvent ev;
+        ev.type = TxnEvent::Type::kNack;
+        ev.group_size = scenario_.request_parts;
+        ev.mask = m.mask;
+        TxnActions actions;
+        const TxnState post =
+            txn_(config, TxnState{TxnPhase::kAwaitingResponse, w.retries},
+                 ev, &actions);
+        w.retries = static_cast<std::uint8_t>(post.retries);
+        // Selective retransmission must never resend acknowledged parts
+        // nor invent parts outside the group.
+        if ((actions.resend_mask & m.mask) != 0 ||
+            (actions.resend_mask &
+             ~vmtp::full_mask(scenario_.request_parts)) != 0) {
+          w.violation = kVioResendMissing;
+          break;
+        }
+        for (std::uint8_t i = 0; i < scenario_.request_parts; ++i) {
+          if ((actions.resend_mask & (1u << i)) == 0) continue;
+          Msg part;
+          part.dir = 0;
+          part.kind = kReqPart;
+          part.index = i;
+          part.seq = bump(w.cs_sent);
+          push(w, scenario_.channel_cap, part);
+        }
+        break;
+      }
+      // Response part.
+      RxActions actions;
+      run_rx(w.client_rx, m, scenario_.response_parts, &actions);
+      if (w.violation != kVioNone) break;
+      if (m.corrupted != 0) break;
+      if (actions.complete) {
+        TxnEvent done;
+        done.type = TxnEvent::Type::kResponseComplete;
+        TxnActions txn_actions;
+        const TxnState post =
+            txn_(config, TxnState{TxnPhase::kAwaitingResponse, w.retries},
+                 done, &txn_actions);
+        if (!txn_actions.deliver) {
+          w.violation = kVioDeliverLost;
+          break;
+        }
+        w.phase = static_cast<std::uint8_t>(post.phase);
+        w.retries = static_cast<std::uint8_t>(post.retries);
+        w.rto_armed = 0;
+        w.cgap_armed = 0;
+        w.client_rx = RxState{};
+      } else if (actions.arm_gap) {
+        w.cgap_armed = 1;
+      }
+      break;
+    }
+    case kRtoFire: {
+      w.rto_armed = 0;
+      TxnEvent ev;
+      ev.type = TxnEvent::Type::kRtoFire;
+      ev.group_size = scenario_.request_parts;
+      TxnActions actions;
+      const TxnState post =
+          txn_(config, TxnState{TxnPhase::kAwaitingResponse, w.retries}, ev,
+               &actions);
+      w.retries = static_cast<std::uint8_t>(post.retries);
+      if (actions.fail) {
+        w.phase = static_cast<std::uint8_t>(TxnPhase::kFailed);
+        w.cgap_armed = 0;  // finish() cancels the response gap timer
+        break;
+      }
+      for (std::uint8_t i = 0; i < scenario_.request_parts; ++i) {
+        if ((actions.resend_mask & (1u << i)) == 0) continue;
+        Msg part;
+        part.dir = 0;
+        part.kind = kReqPart;
+        part.index = i;
+        part.seq = bump(w.cs_sent);
+        push(w, scenario_.channel_cap, part);
+      }
+      if (actions.arm_rto) w.rto_armed = 1;
+      break;
+    }
+    case kServerGapFire: {
+      w.sgap_armed = 0;
+      RxEvent ev;
+      ev.type = RxEvent::Type::kGapFire;
+      RxActions actions;
+      rx_(w.server_rx, ev, &actions);
+      if (actions.send_nack) {
+        Msg nack;
+        nack.dir = 1;
+        nack.kind = kNackMsg;
+        nack.mask = actions.nack_mask;
+        nack.seq = bump(w.sc_sent);
+        push(w, scenario_.channel_cap, nack);
+        if (actions.arm_gap) w.sgap_armed = 1;
+      }
+      break;
+    }
+    case kClientGapFire: {
+      w.cgap_armed = 0;
+      RxEvent ev;
+      ev.type = RxEvent::Type::kGapFire;
+      RxActions actions;
+      rx_(w.client_rx, ev, &actions);
+      if (actions.send_nack) {
+        Msg nack;
+        nack.dir = 0;
+        nack.kind = kNackMsg;
+        nack.mask = actions.nack_mask;
+        nack.seq = bump(w.cs_sent);
+        push(w, scenario_.channel_cap, nack);
+        if (actions.arm_gap) w.cgap_armed = 1;
+      }
+      break;
+    }
+    default:
+      SIRPENT_INVARIANT(false);
+  }
+  return encode(std::move(w));
+}
+
+std::string VmtpModel::check(const StateBytes& state) const {
+  const World w = decode(state);
+  if (w.violation != kVioNone) return violation_name(w.violation);
+  // Every started transaction terminates: while awaiting, some event
+  // must remain possible — at minimum the RTO.  A quiescent awaiting
+  // state is a stuck transaction.
+  if (w.phase == static_cast<std::uint8_t>(TxnPhase::kAwaitingResponse) &&
+      w.msgs.empty() && w.rto_armed == 0 && w.sgap_armed == 0 &&
+      w.cgap_armed == 0) {
+    return "transaction-terminates";
+  }
+  return "";
+}
+
+bool VmtpModel::terminal(const StateBytes& state) const {
+  const World w = decode(state);
+  return w.phase !=
+             static_cast<std::uint8_t>(TxnPhase::kAwaitingResponse) &&
+         w.msgs.empty() && w.sgap_armed == 0 && w.cgap_armed == 0;
+}
+
+std::uint64_t VmtpModel::progress(const StateBytes& state) const {
+  const World w = decode(state);
+  std::uint64_t p = 0;
+  if (w.phase != static_cast<std::uint8_t>(TxnPhase::kAwaitingResponse)) {
+    p += 1000;
+  }
+  p += 50 * w.responded;
+  p += 10 * static_cast<std::uint64_t>(std::popcount(w.server_rx.mask));
+  p += 10 * static_cast<std::uint64_t>(std::popcount(w.client_rx.mask));
+  p += w.cs_sent;
+  p += w.sc_sent;
+  return p;
+}
+
+std::vector<std::string> VmtpModel::invariants() const {
+  return {"part-recorded", "retransmit-only-missing", "no-corrupted-accept",
+          "response-delivered", "transaction-terminates", "livelock"};
+}
+
+}  // namespace srp::mc

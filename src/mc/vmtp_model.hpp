@@ -1,0 +1,68 @@
+// VMTP transaction model for the bounded checker (DESIGN.md §10).
+//
+// Wraps the *same* pure cores the runtime endpoint drives
+// (transport/txn_core.hpp: txn_step + rx_step) in a two-party world —
+// one client transaction against one echo server — and lets the
+// environment misbehave: every in-flight packet can be delivered,
+// dropped, duplicated or corrupted (within configured budgets), in any
+// order, and every armed timer can fire at any moment.  The explorer
+// enumerates all interleavings; the invariants assert the end-to-end
+// bets the Sirpent paper makes on the transport (§4).
+#pragma once
+
+#include "mc/model.hpp"
+#include "transport/txn_core.hpp"
+
+namespace srp::mc {
+
+/// World bounds.  Budgets make the exploration finite and *exhaustive
+/// within the budget*: "all interleavings of up to drop_budget losses,
+/// dup_budget duplications and corrupt_budget corruptions".
+struct VmtpScenario {
+  std::uint8_t request_parts = 2;   ///< client request packet-group size
+  std::uint8_t response_parts = 1;  ///< server response packet-group size
+  int max_retries = 1;
+  std::uint8_t drop_budget = 2;
+  std::uint8_t dup_budget = 1;
+  std::uint8_t corrupt_budget = 1;
+  std::uint8_t channel_cap = 4;  ///< max in-flight messages (tail-drop)
+};
+
+class VmtpModel : public Model {
+ public:
+  explicit VmtpModel(VmtpScenario scenario = {},
+                     vmtp::TxnStepFn txn = &vmtp::txn_step,
+                     vmtp::RxStepFn rx = &vmtp::rx_step)
+      : scenario_(scenario), txn_(txn), rx_(rx) {}
+
+  [[nodiscard]] std::string name() const override { return "vmtp"; }
+  [[nodiscard]] StateBytes initial() const override;
+  void enabled(const StateBytes& state,
+               std::vector<Event>* events) const override;
+  [[nodiscard]] StateBytes apply(const StateBytes& state,
+                                 const Event& event) const override;
+  [[nodiscard]] std::string check(const StateBytes& state) const override;
+  [[nodiscard]] bool terminal(const StateBytes& state) const override;
+  [[nodiscard]] std::uint64_t progress(
+      const StateBytes& state) const override;
+  [[nodiscard]] std::vector<std::string> invariants() const override;
+
+  // Event codes (Event::code).  For packet events, Event::a is the slot
+  // in the canonical channel order, Event::b the direction (0 = client to
+  // server, 1 = server to client) and Event::c the per-direction send
+  // ordinal — exactly the packet index the scripted fault lane keys on.
+  static constexpr std::uint8_t kDeliver = 1;
+  static constexpr std::uint8_t kDrop = 2;
+  static constexpr std::uint8_t kDup = 3;
+  static constexpr std::uint8_t kCorrupt = 4;
+  static constexpr std::uint8_t kRtoFire = 5;
+  static constexpr std::uint8_t kServerGapFire = 6;
+  static constexpr std::uint8_t kClientGapFire = 7;
+
+ private:
+  VmtpScenario scenario_;
+  vmtp::TxnStepFn txn_;
+  vmtp::RxStepFn rx_;
+};
+
+}  // namespace srp::mc

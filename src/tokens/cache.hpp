@@ -27,6 +27,7 @@
 #include "crypto/siphash.hpp"
 #include "stats/registry.hpp"
 #include "tokens/token.hpp"
+#include "tokens/token_core.hpp"
 
 namespace srp::tokens {
 
@@ -92,13 +93,10 @@ class TokenCache {
     std::uint64_t limit_rejects = 0;
   };
 
-  /// Outcome of charge().
-  enum class ChargeResult {
-    kCharged,         ///< usage recorded on entry and ledger
-    kUnknown,         ///< no completed verification for this token
-    kFlagged,         ///< token verified bad; packet must be blocked
-    kLimitExhausted,  ///< byte limit would be exceeded; packet rejected
-  };
+  /// Outcome of charge().  The enum itself lives in token_core.hpp (the
+  /// pure transition core shared with the model checker); this alias
+  /// keeps the historical `TokenCache::ChargeResult` spelling valid.
+  using ChargeResult = tokens::ChargeResult;
 
   /// Cache key: hash of the encrypted token bytes (paper: "using the
   /// encrypted value as the key").
@@ -117,6 +115,23 @@ class TokenCache {
   /// a snapshot of the stored entry.
   Entry store(std::span<const std::uint8_t> token,
               std::optional<TokenBody> body) SRP_EXCLUDES(mutex_);
+
+  struct SettleOutcome {
+    Entry entry;           ///< snapshot after the store
+    bool settled = false;  ///< the optimistic admit was charged
+  };
+
+  /// store() plus settlement of an optimistic admit in one atomic step:
+  /// when @p optimistic_bytes > 0 and the token verified good, the
+  /// optimistically forwarded first packet is charged — exactly once —
+  /// against the entry and @p ledger, or written off if the byte limit is
+  /// already exhausted (counted as a limit reject).  The router's
+  /// verification-completion path uses this so the charge cannot race a
+  /// concurrent packet between store and settle.
+  SettleOutcome store_and_settle(std::span<const std::uint8_t> token,
+                                 std::optional<TokenBody> body,
+                                 std::uint64_t optimistic_bytes,
+                                 Ledger* ledger) SRP_EXCLUDES(mutex_);
 
   /// Atomically charges @p bytes against the token's entry, then (on
   /// success) its account in @p ledger.  kCharged means the packet may be
@@ -144,7 +159,29 @@ class TokenCache {
   /// keeps it exact at batch boundaries.
   void set_occupancy_gauge(stats::Gauge* gauge) SRP_EXCLUDES(mutex_);
 
+  /// Model-checker regression hook (tests/mc_regress): replaces the
+  /// transition core with a deliberately broken variant from mc::mutants
+  /// so counterexamples found by the explorer replay in the real sim.
+  void set_step_for_test(TokenStepFn step) SRP_EXCLUDES(mutex_);
+
  private:
+  /// The core-state view of @p entry (entries in the map have completed
+  /// verification: exactly one of valid / flagged).
+  static TokenCoreState core_of(const Entry& entry) {
+    TokenCoreState core;
+    core.phase = entry.flagged ? EntryPhase::kFlagged : EntryPhase::kValid;
+    core.bytes_charged = entry.bytes_charged;
+    core.byte_limit = entry.body.byte_limit;
+    return core;
+  }
+
+  /// Writes the core-state slice back into @p entry.
+  static void apply_core(Entry& entry, const TokenCoreState& core) {
+    entry.valid = core.phase == EntryPhase::kValid;
+    entry.flagged = core.phase == EntryPhase::kFlagged;
+    entry.bytes_charged = core.bytes_charged;
+  }
+
   void update_gauge() SRP_REQUIRES(mutex_) {
     if (occupancy_gauge_ != nullptr) {
       occupancy_gauge_->set(static_cast<std::int64_t>(entries_.size()));
@@ -155,6 +192,7 @@ class TokenCache {
   std::unordered_map<std::uint64_t, Entry> entries_ SRP_GUARDED_BY(mutex_);
   Stats stats_ SRP_GUARDED_BY(mutex_);
   stats::Gauge* occupancy_gauge_ SRP_GUARDED_BY(mutex_) = nullptr;
+  TokenStepFn step_ SRP_GUARDED_BY(mutex_) = &token_step;
 };
 
 }  // namespace srp::tokens

@@ -1,0 +1,94 @@
+#include "tokens/token_core.hpp"
+
+#include "check/contract.hpp"
+
+namespace srp::tokens {
+namespace {
+
+/// Charge @p bytes against @p state if the byte limit allows.  Shared by
+/// the packet path (kCharge) and optimistic settlement (kVerifyOk).
+bool charge_within_limit(TokenCoreState& state, std::uint64_t bytes) {
+  if (state.byte_limit != 0 &&
+      state.bytes_charged + bytes > state.byte_limit) {
+    return false;
+  }
+  state.bytes_charged += bytes;
+  // Charged usage never exceeds the minted limit (token-cache
+  // consistency).
+  SIRPENT_ENSURES(state.byte_limit == 0 ||
+                  state.bytes_charged <= state.byte_limit);
+  return true;
+}
+
+}  // namespace
+
+TokenCoreState token_step(TokenCoreState state, const TokenEvent& event,
+                          TokenActions* actions) {
+  *actions = TokenActions{};
+  switch (event.type) {
+    case TokenEvent::Type::kBeginVerify:
+      if (state.phase == EntryPhase::kAbsent) {
+        state.phase = EntryPhase::kPending;
+      }
+      return state;
+
+    case TokenEvent::Type::kVerifyOk:
+      // A completed verification overwrites whatever was there; charges
+      // already accumulated against this key are preserved (a re-verify
+      // of a known token must not reset its spend).
+      state.phase = EntryPhase::kValid;
+      state.byte_limit = event.byte_limit;
+      if (event.settle_bytes > 0) {
+        // The optimistically forwarded first packet is charged now —
+        // exactly once — or written off if the limit is already gone.
+        if (charge_within_limit(state, event.settle_bytes)) {
+          actions->settle_charged = event.settle_bytes;
+          actions->ledger_charge = true;
+        } else {
+          actions->settle_dropped = true;
+        }
+      }
+      return state;
+
+    case TokenEvent::Type::kVerifyBad:
+      state.phase = EntryPhase::kFlagged;
+      // An optimistic admit of a bad token is written off: the packet
+      // already flew (the paper's accepted exposure), but nothing is
+      // charged and subsequent users are blocked.
+      if (event.settle_bytes > 0) actions->settle_dropped = true;
+      return state;
+
+    case TokenEvent::Type::kCharge:
+      switch (state.phase) {
+        case EntryPhase::kAbsent:
+        case EntryPhase::kPending:
+          actions->charge_result = ChargeResult::kUnknown;
+          return state;
+        case EntryPhase::kFlagged:
+          actions->charge_result = ChargeResult::kFlagged;
+          return state;
+        case EntryPhase::kValid:
+          if (!charge_within_limit(state, event.bytes)) {
+            actions->charge_result = ChargeResult::kLimitExhausted;
+            return state;
+          }
+          actions->charge_result = ChargeResult::kCharged;
+          actions->ledger_charge = true;
+          return state;
+      }
+      return state;
+
+    case TokenEvent::Type::kPoisonForget:
+      // The entry is forgotten wholesale — including its spend history.
+      // The next user takes a miss and re-verifies (recoverable fault).
+      actions->erase = true;
+      return TokenCoreState{};
+
+    case TokenEvent::Type::kPoisonFlag:
+      state.phase = EntryPhase::kFlagged;
+      return state;
+  }
+  return state;
+}
+
+}  // namespace srp::tokens

@@ -1,0 +1,92 @@
+// Pure transition core for one token-cache entry's soft state.
+//
+// The runtime driver (tokens/cache.hpp) and the bounded model checker
+// (src/mc) share this step function: the UncachedPolicy × ChargeResult
+// lifecycle the checker enumerates is — by construction — the one the
+// router's token cache runs (DESIGN.md §10).  The core is side-effect
+// free: byte counts in, byte counts and verdicts out.
+//
+// Lifecycle of one token (keyed by the hash of its encrypted value):
+//
+//             kBeginVerify                 kVerifyOk
+//   kAbsent ---------------> kPending ----------------> kValid
+//      ^                        |                       |    |
+//      |                        | kVerifyBad   kPoisonFlag   | kCharge
+//      |                        v                       v    v (limit ok)
+//      +---- kPoisonForget --- kFlagged <---------------+  charged
+//
+// kVerifyOk may carry the optimistically forwarded first packet's bytes
+// (`settle_bytes`): under UncachedPolicy::kOptimistic that packet flew
+// before verification finished and is charged — exactly once — when the
+// verification lands, or written off if the byte limit is already gone.
+// "No double-charge" and "optimistic admits are eventually charged or
+// dropped" are checked invariants over this core (src/mc/token_model).
+#pragma once
+
+#include <cstdint>
+
+namespace srp::tokens {
+
+/// Outcome of a charge attempt (kCharged forwards the packet; every other
+/// result rejects it).  Historically nested in TokenCache — the alias
+/// there keeps `TokenCache::ChargeResult` spelling valid.
+enum class ChargeResult : std::uint8_t {
+  kCharged,         ///< usage recorded on entry and ledger
+  kUnknown,         ///< no completed verification for this token
+  kFlagged,         ///< token verified bad; packet must be blocked
+  kLimitExhausted,  ///< byte limit would be exceeded; packet rejected
+};
+
+enum class EntryPhase : std::uint8_t {
+  kAbsent,   ///< never seen (or forgotten): next use takes a miss
+  kPending,  ///< verification in flight (router-side bookkeeping)
+  kValid,    ///< verified good: charges admitted up to the byte limit
+  kFlagged,  ///< verified bad: "subsequent packets ... are then blocked"
+};
+
+/// The accounting-relevant slice of one cache entry.
+struct TokenCoreState {
+  EntryPhase phase = EntryPhase::kAbsent;
+  std::uint64_t bytes_charged = 0;
+  std::uint64_t byte_limit = 0;  ///< 0 = unlimited
+};
+
+struct TokenEvent {
+  enum class Type : std::uint8_t {
+    kBeginVerify,   ///< first uncached use: slow verification starts
+    kVerifyOk,      ///< verification landed: token is good
+    kVerifyBad,     ///< verification landed: token is forged/expired
+    kCharge,        ///< a packet asks to be charged against the token
+    kPoisonForget,  ///< fault injection: the entry is forgotten
+    kPoisonFlag,    ///< fault injection: the entry is marked bad
+  };
+  Type type = Type::kCharge;
+  std::uint64_t byte_limit = 0;   ///< kVerifyOk: minted limit (0 = none)
+  std::uint64_t bytes = 0;        ///< kCharge: packet size
+  std::uint64_t settle_bytes = 0; ///< kVerifyOk/kVerifyBad: optimistic debt
+};
+
+struct TokenActions {
+  /// kCharge verdict (kUnknown for every other event type).
+  ChargeResult charge_result = ChargeResult::kUnknown;
+  /// The charge (or settlement) must also land on the account ledger.
+  bool ledger_charge = false;
+  /// kVerifyOk: optimistic bytes charged now (0 = none were pending).
+  std::uint64_t settle_charged = 0;
+  /// The optimistic debt was written off (token bad, or limit exhausted).
+  bool settle_dropped = false;
+  /// The entry leaves the cache (poison-forget).
+  bool erase = false;
+};
+
+/// Applies @p event to @p state.  Pure: equal inputs give equal outputs.
+/// @p actions is always fully overwritten.
+TokenCoreState token_step(TokenCoreState state, const TokenEvent& event,
+                          TokenActions* actions);
+
+/// Signature shared by the real core and the deliberately broken variants
+/// in mc::mutants (model-checker self-test).
+using TokenStepFn = TokenCoreState (*)(TokenCoreState, const TokenEvent&,
+                                       TokenActions*);
+
+}  // namespace srp::tokens

@@ -1,0 +1,83 @@
+#include "transport/txn_core.hpp"
+
+#include "check/contract.hpp"
+
+namespace srp::vmtp {
+
+RxState rx_step(RxState state, const RxEvent& event, RxActions* actions) {
+  SIRPENT_EXPECTS(actions != nullptr);
+  *actions = RxActions{};
+  switch (event.type) {
+    case RxEvent::Type::kPart: {
+      if (event.corrupted) {
+        // The runtime's decoder already discarded damaged packets; the
+        // model routes them here to prove no ack/progress results.
+        actions->drop_corrupt = true;
+        return state;
+      }
+      if (state.group_size == 0) {
+        // First packet of the group fixes its size.
+        state.group_size = event.group_size;
+      } else if (event.group_size != state.group_size) {
+        // Inconsistent duplicate (e.g. corrupted header): ignore it.
+        return state;
+      }
+      actions->part_ok = true;
+      const std::uint32_t bit = 1u << event.index;
+      if ((state.mask & bit) == 0) {
+        state.mask |= bit;
+        actions->accept = true;
+      }
+      if (state.mask == full_mask(state.group_size)) {
+        actions->complete = true;
+      } else {
+        actions->arm_gap = true;
+      }
+      return state;
+    }
+    case RxEvent::Type::kGapFire: {
+      if (state.mask == full_mask(state.group_size)) return state;
+      // Parts still missing: request selective retransmission by
+      // reporting what we *have*, then keep watching for the rest.
+      actions->send_nack = true;
+      actions->nack_mask = state.mask;
+      actions->arm_gap = true;
+      return state;
+    }
+  }
+  return state;
+}
+
+TxnState txn_step(const TxnConfig& config, TxnState state,
+                  const TxnEvent& event, TxnActions* actions) {
+  SIRPENT_EXPECTS(actions != nullptr);
+  *actions = TxnActions{};
+  // Delivered / failed are terminal: late packets and stale timers for a
+  // finished transaction must not resurrect it.
+  if (state.phase != TxnPhase::kAwaitingResponse) return state;
+  switch (event.type) {
+    case TxnEvent::Type::kResponseComplete:
+      state.phase = TxnPhase::kDelivered;
+      actions->deliver = true;
+      return state;
+    case TxnEvent::Type::kNack:
+      // Selective retransmission: resend exactly the parts the server
+      // reports missing, never the ones it already holds.
+      actions->resend_mask = missing_mask(event.mask, event.group_size);
+      return state;
+    case TxnEvent::Type::kRtoFire:
+      actions->count_timeout = true;
+      if (++state.retries > config.max_retries) {
+        state.phase = TxnPhase::kFailed;
+        actions->fail = true;
+        return state;
+      }
+      // Coarse recovery: resend the whole request group and rearm.
+      actions->resend_mask = full_mask(event.group_size);
+      actions->arm_rto = true;
+      return state;
+  }
+  return state;
+}
+
+}  // namespace srp::vmtp

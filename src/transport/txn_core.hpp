@@ -1,0 +1,124 @@
+// Pure transition cores for the VMTP transaction machinery.
+//
+// The runtime driver (transport/vmtp.hpp) and the bounded model checker
+// (src/mc) share these step functions, so the retransmission protocol the
+// checker enumerates is — by construction — the one the endpoints run
+// (DESIGN.md §10).  Two cores:
+//
+//   rx_step   Packet-group reassembly: the received-bitmask logic shared
+//             by the server's request buffer and the client's response
+//             buffer, including the gap-timeout selective-NACK decision
+//             ("selective retransmission", paper §4.3).
+//
+//   txn_step  The client transaction lifecycle: one outstanding
+//             request/response exchange from invoke to delivered/failed,
+//             driven by response completion, NACKs and RTO firings.
+//
+// Both are side-effect free: no simulator, no allocation, no ambient
+// state.  The driver interprets the emitted actions (send packets, arm
+// timers, run callbacks) in a fixed order so the refactor stays
+// byte-identical on the wire.
+#pragma once
+
+#include <cstdint>
+
+namespace srp::vmtp {
+
+/// Bitmask with one bit per packet of a @p group_size-packet group.
+constexpr std::uint32_t full_mask(std::uint8_t group_size) {
+  return group_size >= 32 ? 0xFFFFFFFFu : (1u << group_size) - 1u;
+}
+
+/// The parts a receiver reporting @p received_mask still needs.
+constexpr std::uint32_t missing_mask(std::uint32_t received_mask,
+                                     std::uint8_t group_size) {
+  return ~received_mask & full_mask(group_size);
+}
+
+// ---------------------------------------------------------------------------
+// Reassembly core
+
+/// Reassembly soft state for one incoming packet group (the core slice of
+/// the driver's GroupRx, which additionally buffers payload bytes).
+struct RxState {
+  std::uint8_t group_size = 0;  ///< 0 until the first packet arrives
+  std::uint32_t mask = 0;       ///< bit i = part i received
+};
+
+struct RxEvent {
+  enum class Type : std::uint8_t {
+    kPart,     ///< a group packet arrived
+    kGapFire,  ///< the gap timer expired
+  };
+  Type type = Type::kPart;
+  std::uint8_t index = 0;       ///< kPart: position within the group
+  std::uint8_t group_size = 0;  ///< kPart: group size stamped on the packet
+  /// kPart, model only: the wire image was damaged.  The runtime never
+  /// sees this (decode already dropped the packet); the checker uses it
+  /// to prove the "no ack for a corrupted request" invariant.
+  bool corrupted = false;
+};
+
+struct RxActions {
+  bool part_ok = false;       ///< the part belongs to this group
+  bool accept = false;        ///< first copy of the part: store its payload
+  bool complete = false;      ///< group fully received: hand the data up
+  bool arm_gap = false;       ///< (re)arm the gap timer
+  bool send_nack = false;     ///< gap expired with parts missing
+  std::uint32_t nack_mask = 0;  ///< received mask to report in the NACK
+  bool drop_corrupt = false;  ///< damaged part discarded (model only)
+};
+
+/// Applies @p event to @p state.  Pure; @p actions is fully overwritten.
+RxState rx_step(RxState state, const RxEvent& event, RxActions* actions);
+
+// ---------------------------------------------------------------------------
+// Client transaction core
+
+struct TxnConfig {
+  int max_retries = 5;
+};
+
+enum class TxnPhase : std::uint8_t {
+  kAwaitingResponse,  ///< request sent, outcome open
+  kDelivered,         ///< full response handed to the caller
+  kFailed,            ///< abandoned after max_retries timeouts
+};
+
+/// Lifecycle state of one outstanding transaction (the core slice of the
+/// driver's TxState, which additionally owns routes, buffers and timers).
+struct TxnState {
+  TxnPhase phase = TxnPhase::kAwaitingResponse;
+  int retries = 0;
+};
+
+struct TxnEvent {
+  enum class Type : std::uint8_t {
+    kResponseComplete,  ///< reassembly finished the response group
+    kNack,              ///< server reported missing request parts
+    kRtoFire,           ///< retransmission timeout expired
+  };
+  Type type = Type::kRtoFire;
+  std::uint8_t group_size = 0;  ///< kNack: NACK's group; kRtoFire: request group
+  std::uint32_t mask = 0;       ///< kNack: server's received mask
+};
+
+struct TxnActions {
+  bool deliver = false;           ///< run the callback with the response
+  bool fail = false;              ///< run the callback with an error
+  bool count_timeout = false;     ///< an RTO fired (stats/observability)
+  std::uint32_t resend_mask = 0;  ///< request parts to retransmit
+  bool arm_rto = false;           ///< rearm the retransmission timer
+};
+
+/// Applies @p event to @p state.  Pure; @p actions is fully overwritten.
+TxnState txn_step(const TxnConfig& config, TxnState state,
+                  const TxnEvent& event, TxnActions* actions);
+
+/// Signatures shared by the real cores and the deliberately broken
+/// variants in mc::mutants (model-checker self-test).
+using RxStepFn = RxState (*)(RxState, const RxEvent&, RxActions*);
+using TxnStepFn = TxnState (*)(const TxnConfig&, TxnState, const TxnEvent&,
+                               TxnActions*);
+
+}  // namespace srp::vmtp

@@ -6,14 +6,9 @@
 
 #include "check/contract.hpp"
 
+// full_mask / missing_mask and both step functions now live in
+// transport/txn_core.hpp so the model checker shares them (DESIGN.md §10).
 namespace srp::vmtp {
-namespace {
-
-constexpr std::uint32_t full_mask(std::uint8_t group_size) {
-  return group_size >= 32 ? 0xFFFFFFFFu : (1u << group_size) - 1u;
-}
-
-}  // namespace
 
 VmtpEndpoint::VmtpEndpoint(sim::Simulator& sim, viper::ViperHost& host,
                            std::uint64_t entity_id, VmtpConfig config)
@@ -221,7 +216,12 @@ void VmtpEndpoint::arm_gap_timer(GroupRx& rx, std::uint64_t peer,
     }
     if (rx_now == nullptr) return;
     rx_now->gap_timer = 0;
-    if (rx_now->received_mask == full_mask(rx_now->group_size)) return;
+    RxEvent event;
+    event.type = RxEvent::Type::kGapFire;
+    RxActions actions;
+    hooks_.rx(RxState{rx_now->group_size, rx_now->received_mask}, event,
+              &actions);
+    if (!actions.send_nack) return;  // group completed in the meantime
     if (!rx_now->reply_via.has_value()) return;
     // Selective retransmission: tell the sender what we have (§4.3).
     Header nack;
@@ -230,11 +230,11 @@ void VmtpEndpoint::arm_gap_timer(GroupRx& rx, std::uint64_t peer,
     nack.transaction = transaction;
     nack.type = PacketType::kNack;
     nack.group_size = rx_now->group_size;
-    nack.mask = rx_now->received_mask;
+    nack.mask = actions.nack_mask;
     nack.timestamp = clock_.now_ms();
     ++stats_.nacks_sent;
     send_one(nack, {}, nullptr, &*rx_now->reply_via, sim_.now());
-    arm_gap_timer(*rx_now, peer, transaction, kind);
+    if (actions.arm_gap) arm_gap_timer(*rx_now, peer, transaction, kind);
   });
 }
 
@@ -262,26 +262,34 @@ void VmtpEndpoint::handle_request_packet(const TransportPacket& packet,
   }
 
   GroupRx& rx = inbound_[key];
+  RxEvent event;
+  event.type = RxEvent::Type::kPart;
+  event.index = h.index;
+  event.group_size = h.group_size;
+  RxActions actions;
+  const RxState core =
+      hooks_.rx(RxState{rx.group_size, rx.received_mask}, event, &actions);
+  if (!actions.part_ok) return;  // malformed or mixed group
   if (rx.parts.empty()) {
-    rx.parts.resize(h.group_size);
-    rx.group_size = h.group_size;
+    rx.parts.resize(core.group_size);
     rx.first_at = sim_.now();
   }
-  if (h.group_size != rx.group_size) return;  // malformed or mixed group
-  const std::uint32_t bit = 1u << h.index;
-  if ((rx.received_mask & bit) == 0) {
-    rx.received_mask |= bit;
+  rx.group_size = core.group_size;
+  rx.received_mask = core.mask;
+  if (actions.accept) {
     rx.parts[h.index].assign(packet.payload.begin(), packet.payload.end());
   }
   rx.reply_via = delivery;
 
-  if (rx.received_mask == full_mask(rx.group_size)) {
+  if (actions.complete) {
     if (rx.gap_timer != 0) sim_.cancel(rx.gap_timer);
     complete_request(h.src_entity, h.transaction, rx);
     inbound_.erase(key);
     return;
   }
-  arm_gap_timer(rx, h.src_entity, h.transaction, PacketType::kRequest);
+  if (actions.arm_gap) {
+    arm_gap_timer(rx, h.src_entity, h.transaction, PacketType::kRequest);
+  }
 }
 
 void VmtpEndpoint::complete_request(std::uint64_t peer,
@@ -327,20 +335,35 @@ void VmtpEndpoint::handle_response_packet(const TransportPacket& packet,
     return;
   }
   GroupRx& rx = st.response;
+  RxEvent event;
+  event.type = RxEvent::Type::kPart;
+  event.index = h.index;
+  event.group_size = h.group_size;
+  RxActions actions;
+  const RxState core =
+      hooks_.rx(RxState{rx.group_size, rx.received_mask}, event, &actions);
+  if (!actions.part_ok) return;
   if (rx.parts.empty()) {
-    rx.parts.resize(h.group_size);
-    rx.group_size = h.group_size;
+    rx.parts.resize(core.group_size);
     rx.first_at = sim_.now();
   }
-  if (h.group_size != rx.group_size) return;
-  const std::uint32_t bit = 1u << h.index;
-  if ((rx.received_mask & bit) == 0) {
-    rx.received_mask |= bit;
+  rx.group_size = core.group_size;
+  rx.received_mask = core.mask;
+  if (actions.accept) {
     rx.parts[h.index].assign(packet.payload.begin(), packet.payload.end());
   }
   rx.reply_via = delivery;
 
-  if (rx.received_mask == full_mask(rx.group_size)) {
+  if (actions.complete) {
+    TxnEvent done;
+    done.type = TxnEvent::Type::kResponseComplete;
+    TxnActions txn_actions;
+    const TxnState txn =
+        hooks_.txn(TxnConfig{config_.max_retries},
+                   TxnState{TxnPhase::kAwaitingResponse, st.retries}, done,
+                   &txn_actions);
+    st.retries = txn.retries;
+    if (!txn_actions.deliver) return;
     Result result;
     result.ok = true;
     for (const auto& part : rx.parts) {
@@ -355,20 +378,30 @@ void VmtpEndpoint::handle_response_packet(const TransportPacket& packet,
     finish(h.transaction, std::move(result));
     return;
   }
-  arm_gap_timer(rx, st.server, h.transaction, PacketType::kResponse);
+  if (actions.arm_gap) {
+    arm_gap_timer(rx, st.server, h.transaction, PacketType::kResponse);
+  }
 }
 
 void VmtpEndpoint::handle_nack(const TransportPacket& packet,
                                const viper::Delivery& delivery) {
   const Header& h = packet.header;
   ++stats_.nacks_received;
-  const std::uint32_t missing =
-      ~h.mask & full_mask(h.group_size);
 
   // Client side: peer wants missing request packets.
   const auto out = outstanding_.find(h.transaction);
   if (out != outstanding_.end() && out->second.server == h.src_entity) {
     TxState& st = out->second;
+    TxnEvent event;
+    event.type = TxnEvent::Type::kNack;
+    event.group_size = h.group_size;
+    event.mask = h.mask;
+    TxnActions actions;
+    const TxnState txn =
+        hooks_.txn(TxnConfig{config_.max_retries},
+                   TxnState{TxnPhase::kAwaitingResponse, st.retries}, event,
+                   &actions);
+    st.retries = txn.retries;
     Header base;
     base.src_entity = entity_;
     base.dst_entity = st.server;
@@ -378,15 +411,19 @@ void VmtpEndpoint::handle_nack(const TransportPacket& packet,
     base.flags = kFlagRetransmission;
     base.timestamp = clock_.now_ms();
     stats_.retransmitted_packets +=
-        static_cast<std::uint64_t>(std::popcount(missing));
+        static_cast<std::uint64_t>(std::popcount(actions.resend_mask));
     if (obs_retransmits_ != nullptr) {
-      obs_retransmits_->add(static_cast<std::uint64_t>(std::popcount(missing)));
+      obs_retransmits_->add(
+          static_cast<std::uint64_t>(std::popcount(actions.resend_mask)));
     }
-    send_group(base, st.request_parts, missing, &st.route, nullptr);
+    send_group(base, st.request_parts, actions.resend_mask, &st.route,
+               nullptr);
     return;
   }
 
-  // Server side: peer wants missing response packets.
+  // Server side: peer wants missing response packets (stateless: the
+  // served memory plus the shared missing-bitmask helper decide).
+  const std::uint32_t missing = missing_mask(h.mask, h.group_size);
   const auto done = served_.find({h.src_entity, h.transaction});
   if (done != served_.end()) {
     Header base;
@@ -420,9 +457,20 @@ void VmtpEndpoint::on_rto(std::uint32_t transaction) {
   if (it == outstanding_.end()) return;
   TxState& st = it->second;
   st.rto_timer = 0;
-  ++stats_.timeouts;
-  if (obs_timeouts_ != nullptr) obs_timeouts_->add(1);
-  if (++st.retries > config_.max_retries) {
+  TxnEvent event;
+  event.type = TxnEvent::Type::kRtoFire;
+  event.group_size = static_cast<std::uint8_t>(st.request_parts.size());
+  TxnActions actions;
+  const TxnState txn =
+      hooks_.txn(TxnConfig{config_.max_retries},
+                 TxnState{TxnPhase::kAwaitingResponse, st.retries}, event,
+                 &actions);
+  st.retries = txn.retries;
+  if (actions.count_timeout) {
+    ++stats_.timeouts;
+    if (obs_timeouts_ != nullptr) obs_timeouts_->add(1);
+  }
+  if (actions.fail) {
     ++stats_.failures;
     if (obs_failures_ != nullptr) obs_failures_->add(1);
     if (on_failure_) on_failure_();
@@ -433,21 +481,25 @@ void VmtpEndpoint::on_rto(std::uint32_t transaction) {
     finish(transaction, std::move(result));
     return;
   }
-  Header base;
-  base.src_entity = entity_;
-  base.dst_entity = st.server;
-  base.transaction = transaction;
-  base.type = PacketType::kRequest;
-  base.group_size = static_cast<std::uint8_t>(st.request_parts.size());
-  base.flags = kFlagRetransmission;
-  base.timestamp = clock_.now_ms();
-  stats_.retransmitted_packets += st.request_parts.size();
-  if (obs_retransmits_ != nullptr) {
-    obs_retransmits_->add(st.request_parts.size());
+  if (actions.resend_mask != 0) {
+    Header base;
+    base.src_entity = entity_;
+    base.dst_entity = st.server;
+    base.transaction = transaction;
+    base.type = PacketType::kRequest;
+    base.group_size = static_cast<std::uint8_t>(st.request_parts.size());
+    base.flags = kFlagRetransmission;
+    base.timestamp = clock_.now_ms();
+    stats_.retransmitted_packets +=
+        static_cast<std::uint64_t>(std::popcount(actions.resend_mask));
+    if (obs_retransmits_ != nullptr) {
+      obs_retransmits_->add(
+          static_cast<std::uint64_t>(std::popcount(actions.resend_mask)));
+    }
+    send_group(base, st.request_parts, actions.resend_mask, &st.route,
+               nullptr);
   }
-  send_group(base, st.request_parts, full_mask(base.group_size), &st.route,
-             nullptr);
-  arm_rto(transaction);
+  if (actions.arm_rto) arm_rto(transaction);
 }
 
 void VmtpEndpoint::finish(std::uint32_t transaction, Result result) {

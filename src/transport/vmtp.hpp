@@ -26,6 +26,7 @@
 #include "sim/simulator.hpp"
 #include "transport/header.hpp"
 #include "transport/timestamp.hpp"
+#include "transport/txn_core.hpp"
 #include "viper/host.hpp"
 
 namespace srp::vmtp {
@@ -123,6 +124,20 @@ class VmtpEndpoint {
   [[nodiscard]] HostClock& clock() { return clock_; }
   [[nodiscard]] sim::Time smoothed_rtt() const { return srtt_; }
 
+  /// The pure transition cores this endpoint drives (txn_core.hpp).  All
+  /// protocol decisions — reassembly masks, NACK contents, retry/failure —
+  /// flow through these function pointers; the endpoint itself only
+  /// interprets the returned actions.
+  struct CoreHooks {
+    TxnStepFn txn = &txn_step;
+    RxStepFn rx = &rx_step;
+  };
+
+  /// Model-checker regression hook (tests/mc_regress): replaces the
+  /// transition cores with deliberately broken variants from mc::mutants
+  /// so counterexamples found by the explorer replay in the real sim.
+  void set_core_hooks_for_test(const CoreHooks& hooks) { hooks_ = hooks; }
+
  private:
   /// Reassembly buffer for one incoming packet group.
   struct GroupRx {
@@ -191,6 +206,7 @@ class VmtpEndpoint {
   viper::ViperHost& host_;
   std::uint64_t entity_;
   VmtpConfig config_;
+  CoreHooks hooks_;
   HostClock clock_;
   cc::SourceThrottle* throttle_ = nullptr;
 

@@ -443,16 +443,17 @@ ViperRouter::admit_token(const core::HeaderSegment& seg, int physical_port,
       const std::optional<tokens::TokenBody> body =
           ticket.has_value() ? validation_engine_->await(*ticket)
                              : authority_->open(config_.router_id, token_copy);
-      const auto e = token_cache_.store(token_copy, body);
-      if (e.valid && config_.uncached_policy ==
-                         tokens::UncachedPolicy::kOptimistic) {
-        // The optimistically forwarded first packet is charged now.
-        const auto charged =
-            token_cache_.charge(token_copy, first_packet_bytes, *ledger_);
-        if (charged == tokens::TokenCache::ChargeResult::kCharged &&
-            obs_flow_ != nullptr) {
-          obs_flow_->on_charge(e.body.account, first_packet_bytes);
-        }
+      // Store + optimistic settlement in one atomic cache step: the first
+      // packet that flew before verification landed is charged exactly
+      // once (tokens/token_core.hpp owns the transition).
+      const std::uint64_t settle_bytes =
+          config_.uncached_policy == tokens::UncachedPolicy::kOptimistic
+              ? first_packet_bytes
+              : 0;
+      const auto outcome = token_cache_.store_and_settle(
+          token_copy, body, settle_bytes, ledger_);
+      if (outcome.settled && obs_flow_ != nullptr) {
+        obs_flow_->on_charge(outcome.entry.body.account, first_packet_bytes);
       }
     });
   }

@@ -1,0 +1,68 @@
+// srp-lint fixture: state-switch-default must flag every `default:` in a
+// switch over a *State / *Result / *Policy enum, attribute nested
+// defaults to the inner switch only, ignore integer switches, and honor
+// the comment exemption (naming the macro here would bless the whole
+// file, so see ok_exempted below).  Never compiled.
+namespace fixture {
+
+enum class TxnState { kAwaiting, kDelivered, kFailed };
+enum class ChargeResult { kCharged, kFlagged };
+enum class UncachedPolicy { kOptimistic, kBlocking, kDrop };
+
+int bad_state_switch(TxnState s) {
+  switch (s) {  // finding 1: default over TxnState
+    case TxnState::kAwaiting:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+int bad_nested_switch(ChargeResult r, int raw) {
+  switch (r) {
+    case ChargeResult::kCharged:
+      switch (raw) {  // integer switch: its default is fine...
+        case 0:
+          return 7;
+        default:
+          return 8;
+      }
+    case ChargeResult::kFlagged:
+      return 2;
+    default:  // ...finding 2: this one belongs to the ChargeResult switch
+      return 0;
+  }
+}
+
+int ok_integer_switch(int raw) {
+  switch (raw) {
+    case 1:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+int ok_exhaustive(UncachedPolicy p) {
+  switch (p) {
+    case UncachedPolicy::kOptimistic:
+      return 1;
+    case UncachedPolicy::kBlocking:
+      return 2;
+    case UncachedPolicy::kDrop:
+      return 3;
+  }
+  return 0;
+}
+
+int ok_exempted(TxnState s) {
+  // SRP_SWITCH_OK(legacy wire decoder: unknown values map to kFailed)
+  switch (s) {
+    case TxnState::kAwaiting:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fixture
