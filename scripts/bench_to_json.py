@@ -6,13 +6,16 @@ bench_fault_overhead, bench_flow_overhead) with --benchmark_format=json
 and folds every benchmark into a flat {name: ns_per_op} map using
 cpu_time; then runs bench_parallel_validation (a stats::Table text
 report) and converts each configuration's tokens/s into ns per token
-(1e9 / tokens_per_s) under parallel_validation.<workers>.
+(1e9 / tokens_per_s) under parallel_validation.<workers>; then runs
+bench_scalability and records its BATCH_GATE line (the batched data
+plane's engine cost and speedup) under scalability.*.
 
-The output (default BENCH_PR7.json) is what CI uploads as the per-build
+The output (default BENCH_PR8.json) is what CI uploads as the per-build
 performance artifact, so the schema is deliberately trivial: one flat
-object, names stable across runs, values in nanoseconds.
+object, names stable across runs, values in nanoseconds (except the
+dimensionless scalability.batch_speedup).
 
-Usage: bench_to_json.py --bindir build/bench [--out BENCH_PR7.json]
+Usage: bench_to_json.py --bindir build/bench [--out BENCH_PR8.json]
 """
 
 import argparse
@@ -30,6 +33,11 @@ GBENCH_BINARIES = [
 # | serial (inline) | 767300   | 1.00 | 3072 |
 TABLE_ROW = re.compile(
     r"^\|\s*(?P<label>[^|]+?)\s*\|\s*(?P<tokens>\d+)\s*\|")
+
+# BATCH_GATE per_packet_ns=311.3 batched_ns=61.6 speedup=5.05
+BATCH_GATE = re.compile(
+    r"BATCH_GATE\s+per_packet_ns=([\d.]+)\s+batched_ns=([\d.]+)\s+"
+    r"speedup=([\d.]+)")
 
 
 def run_gbench(bindir, name, results):
@@ -63,11 +71,24 @@ def run_parallel_validation(bindir, results):
                  "from bench_parallel_validation")
 
 
+def run_scalability(bindir, results):
+    out = subprocess.run(
+        [f"{bindir}/bench_scalability"],
+        capture_output=True, text=True, check=True).stdout
+    match = BATCH_GATE.search(out)
+    if match is None:
+        sys.exit("error: no BATCH_GATE line in bench_scalability output")
+    per_packet, batched, speedup = (float(g) for g in match.groups())
+    results["scalability.per_packet_engine"] = per_packet
+    results["scalability.batched_engine"] = batched
+    results["scalability.batch_speedup"] = speedup
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bindir", default="build/bench",
                         help="directory holding the bench binaries")
-    parser.add_argument("--out", default="BENCH_PR7.json",
+    parser.add_argument("--out", default="BENCH_PR8.json",
                         help="output JSON path")
     args = parser.parse_args()
 
@@ -75,6 +96,7 @@ def main():
     for name in GBENCH_BINARIES:
         run_gbench(args.bindir, name, results)
     run_parallel_validation(args.bindir, results)
+    run_scalability(args.bindir, results)
 
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)

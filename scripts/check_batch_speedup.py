@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Gate on the batched data plane's throughput contract.
+
+Scans a bench_scalability log for the machine-readable line
+
+  BATCH_GATE per_packet_ns=<x> batched_ns=<y> speedup=<z>
+
+and fails if the measured speedup of the run-to-completion batched
+engine over the per-packet reference path falls below the pinned floor
+(default 5.0, the PR8 acceptance bound).  The bench itself already takes
+the minimum over repetitions for both modes, so scheduler noise only
+narrows the measured ratio — a failure here means the batched path
+actually regressed.
+
+Usage: check_batch_speedup.py bench.log [--min 5.0]
+"""
+
+import argparse
+import re
+import sys
+
+GATE_RE = re.compile(
+    r"BATCH_GATE\s+per_packet_ns=([\d.]+)\s+batched_ns=([\d.]+)\s+"
+    r"speedup=([\d.]+)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", help="bench_scalability stdout log")
+    parser.add_argument("--min", type=float, default=5.0, dest="floor",
+                        help="minimum acceptable batched/per-packet speedup")
+    args = parser.parse_args()
+
+    with open(args.log, encoding="utf-8") as handle:
+        match = GATE_RE.search(handle.read())
+    if match is None:
+        sys.exit("error: no BATCH_GATE line found in log")
+
+    per_packet, batched, speedup = (float(g) for g in match.groups())
+    print(f"per-packet engine: {per_packet:.1f} ns/packet")
+    print(f"batched engine:    {batched:.1f} ns/packet")
+    print(f"speedup: {speedup:.2f}x (floor {args.floor:.2f}x)")
+    if speedup < args.floor:
+        sys.exit("FAIL: batched data-plane speedup below floor")
+    print("OK: batched data-plane speedup meets floor")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,7 @@ wire::Bytes encode_tree_info(const std::vector<wire::Bytes>& subroutes) {
   return std::move(w).take();
 }
 
-bool is_tree_info(const wire::Bytes& port_info) {
+bool is_tree_info(std::span<const std::uint8_t> port_info) {
   return port_info.size() >= 2 && port_info[0] == kTreeInfoTag;
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "wire/buffer.hpp"
@@ -31,8 +32,9 @@ inline constexpr std::uint8_t kTreeInfoTag = 0x54;
 /// encoded segment sequence for one subtree.
 wire::Bytes encode_tree_info(const std::vector<wire::Bytes>& subroutes);
 
-/// True when a portInfo field carries a tree-branch block.
-bool is_tree_info(const wire::Bytes& port_info);
+/// True when a portInfo field carries a tree-branch block.  Takes a view
+/// so the batched data plane can ask without materializing the field.
+bool is_tree_info(std::span<const std::uint8_t> port_info);
 
 /// Decodes the branch blobs (throws wire::CodecError on malformed input).
 std::vector<wire::Bytes> decode_tree_info(const wire::Bytes& port_info);

@@ -15,7 +15,9 @@
 // origin host's Sirpent module accepts the packet.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/segment.hpp"
@@ -46,5 +48,15 @@ SourceRoute build_return_route(const std::vector<HeaderSegment>& entries,
 /// Splits decoded trailer segments into routable entries and the truncated
 /// flag (truncation markers are recognized and removed).
 TrailerInfo classify_trailer(std::vector<HeaderSegment> raw_entries);
+
+/// Reverses the *order* of variable-length records inside @p buf without
+/// changing any record's bytes, in O(1) extra space: record i (of size
+/// sizes[i], records packed back to back) ends up at the position record
+/// n-1-i occupied.  This is the paper's "entirely network-independent"
+/// trailer reversal done on the wire image itself — segment reversal is
+/// length-preserving, so the buffer size never changes and no copy of the
+/// trailer is needed.  @p sizes must sum exactly to buf.size().
+void reverse_records_in_place(std::span<std::uint8_t> buf,
+                              std::span<const std::size_t> sizes);
 
 }  // namespace srp::core

@@ -182,6 +182,11 @@ void Fabric::enable_observability(const obs::Observer& observer) {
   for (auto& controller : controllers_) controller->set_observer(observer);
 }
 
+void Fabric::enable_batching(viper::ViperRouter::BatchConfig config) {
+  for (viper::ViperRouter* router : routers_) router->set_batching(config);
+  for (viper::ViperHost* host : hosts_) host->set_batching(true);
+}
+
 std::uint32_t Fabric::id_of(const net::Node& node) const {
   const auto it = ids_.find(&node);
   if (it == ids_.end()) {

@@ -85,6 +85,11 @@ class Fabric {
   /// complete — components added later are not wired retroactively.
   void enable_observability(const obs::Observer& observer);
 
+  /// Switches every router built so far to the batched (arena-backed)
+  /// forward path and every host to the in-place trailer reversal pass.
+  /// Like enable_observability, not retroactive for later components.
+  void enable_batching(viper::ViperRouter::BatchConfig config = {});
+
   // --- failure injection (simulation + directory advisories together) ---
   void fail_link(net::PortedNode& a, net::PortedNode& b);
   void restore_link(net::PortedNode& a, net::PortedNode& b);

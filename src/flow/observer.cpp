@@ -22,7 +22,7 @@ FlowObserver::FlowObserver(std::string name, const FlowConfig& config,
   }
 }
 
-SRP_HOT_PATH void FlowObserver::on_forward(const obs::FlowSample& sample) {
+SRP_HOT_PATH void FlowObserver::record_table(const obs::FlowSample& sample) {
   const FlowKey key{sample.route_digest, sample.account, sample.tos_class};
   const bool evicted = table_.record(key, sample.bytes, sample.cut_through,
                                      sample.now, sample.in_port,
@@ -31,8 +31,9 @@ SRP_HOT_PATH void FlowObserver::on_forward(const obs::FlowSample& sample) {
   if (flows_gauge_ != nullptr) {
     flows_gauge_->set(static_cast<std::int64_t>(table_.size()));
   }
+}
 
-  MutexLock lock(mutex_);
+SRP_HOT_PATH void FlowObserver::record_sampled(const obs::FlowSample& sample) {
   if (sample.in_port != 0) {
     feeders_[{sample.out_port, sample.in_port}] = sample.now;
   }
@@ -55,6 +56,23 @@ SRP_HOT_PATH void FlowObserver::on_forward(const obs::FlowSample& sample) {
       recorder_->record(span);
     }
   }
+}
+
+SRP_HOT_PATH void FlowObserver::on_forward(const obs::FlowSample& sample) {
+  record_table(sample);
+  MutexLock lock(mutex_);
+  record_sampled(sample);
+}
+
+SRP_HOT_PATH void FlowObserver::on_forward_burst(
+    std::span<const obs::FlowSample> samples) {
+  // Table updates first (lock-free half), then one mutex acquisition for
+  // the whole burst.  Per-sample order is preserved in both halves, so the
+  // sampler stream and the flow table are byte-identical to a loop over
+  // on_forward().
+  for (const obs::FlowSample& sample : samples) record_table(sample);
+  MutexLock lock(mutex_);
+  for (const obs::FlowSample& sample : samples) record_sampled(sample);
 }
 
 void FlowObserver::on_charge(std::uint32_t account, std::uint64_t bytes) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -54,6 +55,10 @@ class FlowObserver final : public obs::FlowSink {
 
   void on_forward(const obs::FlowSample& sample) override
       SRP_EXCLUDES(mutex_);
+  /// Batch pass: same per-sample semantics and order as on_forward(), but
+  /// the mutex is taken once for the whole burst.
+  void on_forward_burst(std::span<const obs::FlowSample> samples) override
+      SRP_EXCLUDES(mutex_);
   void on_charge(std::uint32_t account, std::uint64_t bytes) override
       SRP_EXCLUDES(mutex_);
   void feeders_toward(int out_port, sim::Time since,
@@ -72,6 +77,12 @@ class FlowObserver final : public obs::FlowSink {
   [[nodiscard]] std::uint64_t sampled() const SRP_EXCLUDES(mutex_);
 
  private:
+  /// The unlocked half of one sample: flow-table update + metrics.
+  void record_table(const obs::FlowSample& sample);
+  /// The locked half of one sample: feeder aggregate + sampler draw (and
+  /// the sampled-capture span, when one is taken).
+  void record_sampled(const obs::FlowSample& sample) SRP_REQUIRES(mutex_);
+
   const std::string name_;
   FlowTable table_;
   obs::FlightRecorder* recorder_ = nullptr;

@@ -1,7 +1,10 @@
 #include "viper/codec.hpp"
 
+#include <array>
+
 #include "check/analysis.hpp"
 #include "check/contract.hpp"
+#include "core/trailer.hpp"
 #include "crypto/siphash.hpp"
 
 namespace srp::viper {
@@ -55,6 +58,46 @@ wire::Bytes decode_field(wire::Reader& r, std::uint8_t length_byte) {
   return r.bytes(len);
 }
 
+/// decode_field without the copy: same framing rules (big-endian u32
+/// length escape), returns a view over @p base.  Raw-pointer twin of the
+/// Reader-based decode_field so the burst classify pass pays one bounds
+/// check per field instead of one per byte.
+std::span<const std::uint8_t> decode_field_view_raw(
+    const std::uint8_t* base, std::size_t avail, std::size_t& pos,
+    std::uint8_t length_byte) {
+  std::size_t len = length_byte;
+  if (length_byte == kLengthEscape) {
+    if (avail - pos < 4) {
+      throw wire::CodecError("VIPER: truncated field length");
+    }
+    len = static_cast<std::size_t>(base[pos]) << 24 |
+          static_cast<std::size_t>(base[pos + 1]) << 16 |
+          static_cast<std::size_t>(base[pos + 2]) << 8 |
+          static_cast<std::size_t>(base[pos + 3]);
+    pos += 4;
+    if (len <= 254) {
+      throw wire::CodecError("VIPER: escaped length not > 254");
+    }
+  }
+  if (avail - pos < len) {
+    throw wire::CodecError("VIPER: truncated field");
+  }
+  const std::span<const std::uint8_t> view{base + pos, len};
+  pos += len;
+  return view;
+}
+
+/// Raw-append twin of encode_length_byte / encode_field (big-endian u32
+/// escape, same as wire::Writer).  The appends land in a capacity-warm
+/// arena buffer, so they amortize to zero allocations; srp-lint sees them
+/// via the SRP_ALLOC_OK blessings at the call sites in append_segment_raw.
+void append_u32_raw(wire::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
 }  // namespace
 
 std::size_t segment_wire_size(const core::HeaderSegment& segment) {
@@ -103,6 +146,107 @@ SRP_HOT_PATH core::HeaderSegment decode_segment(wire::Reader& r) {
     seg.port_info.clear();
   }
   return seg;
+}
+
+SRP_HOT_PATH SegmentView decode_segment_view(
+    std::span<const std::uint8_t> bytes, std::size_t offset) {
+  if (offset > bytes.size()) {
+    throw wire::CodecError("VIPER: segment offset out of range");
+  }
+  // Raw-pointer parse: the fixed prefix is validated with one bounds
+  // check and each field with one more, instead of the Reader's check
+  // per byte — this is the entry point of the burst classify pass.
+  const std::uint8_t* base = bytes.data() + offset;
+  const std::size_t avail = bytes.size() - offset;
+  if (avail < 4) {
+    throw wire::CodecError("VIPER: truncated segment prefix");
+  }
+  const std::uint8_t info_len = base[0];
+  const std::uint8_t token_len = base[1];
+  SegmentView v;
+  v.port = base[2];
+  const std::uint8_t fp = base[3];
+  v.flags = decode_flags(static_cast<std::uint8_t>(fp >> 4));
+  v.tos.priority = fp & 0x0F;
+  v.tos.drop_if_blocked = v.flags.dib;
+  std::size_t pos = 4;
+  v.token = decode_field_view_raw(base, avail, pos, token_len);
+  v.port_info = decode_field_view_raw(base, avail, pos, info_len);
+  v.wire_size = pos;
+  // Same consumption arithmetic as decode_segment — computed before the
+  // VNT padding discard below, which empties the view but not the wire.
+  SIRPENT_ENSURES(v.wire_size == 4 + field_wire_size(v.token.size()) +
+                                     field_wire_size(v.port_info.size()));
+  if (v.flags.vnt && !v.flags.trm) {
+    // Padding is discarded on decode, exactly as decode_segment does.
+    v.port_info = {};
+  }
+  return v;
+}
+
+SRP_HOT_PATH void append_segment_raw(wire::Bytes& out, std::uint8_t port,
+                                     const core::TypeOfService& tos,
+                                     const core::SegmentFlags& flags,
+                                     std::span<const std::uint8_t> token,
+                                     std::span<const std::uint8_t> port_info) {
+  if (token.size() > 0xFFFFFFFFull || port_info.size() > 0xFFFFFFFFull) {
+    throw wire::CodecError("VIPER: field too large");
+  }
+  [[maybe_unused]] const std::size_t before = out.size();
+  // Every append below lands in a caller-owned buffer that the batched
+  // data plane keeps capacity-warm (arena slabs), so the blessed sites
+  // amortize to zero allocations (pinned by tests/alloc_budget_test.cpp).
+  // The fixed prefix goes in as one insert, not four push_backs: the
+  // per-byte growth checks are measurable on the burst path.
+  const std::uint8_t prefix[4] = {
+      port_info.size() > 254 ? static_cast<std::uint8_t>(kLengthEscape)
+                             : static_cast<std::uint8_t>(port_info.size()),
+      token.size() > 254 ? static_cast<std::uint8_t>(kLengthEscape)
+                         : static_cast<std::uint8_t>(token.size()),
+      port,
+      static_cast<std::uint8_t>(encode_flags(flags) << 4 |
+                                (tos.priority & 0x0F))};
+  SRP_ALLOC_OK(out.insert(out.end(), prefix, prefix + 4));
+  if (token.size() > 254) {
+    SRP_ALLOC_OK(append_u32_raw(out, static_cast<std::uint32_t>(token.size())));
+  }
+  if (!token.empty()) {
+    SRP_ALLOC_OK(out.insert(out.end(), token.begin(), token.end()));
+  }
+  if (port_info.size() > 254) {
+    SRP_ALLOC_OK(
+        append_u32_raw(out, static_cast<std::uint32_t>(port_info.size())));
+  }
+  if (!port_info.empty()) {
+    SRP_ALLOC_OK(out.insert(out.end(), port_info.begin(), port_info.end()));
+  }
+  // Byte-identical to encode_segment of the equivalent HeaderSegment; the
+  // size agreement is the same contract encode_segment carries.
+  SIRPENT_ENSURES(out.size() - before == 4 + field_wire_size(token.size()) +
+                                             field_wire_size(port_info.size()));
+}
+
+bool reverse_trailer_in_place(std::span<std::uint8_t> trailer) {
+  // Segment sizes, walked off the fixed prefixes without materializing any
+  // field.  A trailer holds at most one entry per traversed hop plus
+  // truncation marks; 2 * kMaxSegments is a generous ceiling.
+  std::array<std::size_t, 2 * core::kMaxSegments> sizes;
+  std::size_t count = 0;
+  std::size_t offset = 0;
+  while (offset < trailer.size()) {
+    if (count == sizes.size()) return false;
+    std::size_t segment_size = 0;
+    try {
+      segment_size = decode_segment_view(trailer, offset).wire_size;
+    } catch (const wire::CodecError&) {
+      return false;
+    }
+    sizes[count++] = segment_size;
+    offset += segment_size;
+  }
+  SIRPENT_INVARIANT(offset == trailer.size());
+  core::reverse_records_in_place(trailer, std::span(sizes).first(count));
+  return true;
 }
 
 wire::Bytes encode_route(const core::SourceRoute& route) {

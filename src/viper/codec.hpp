@@ -54,6 +54,47 @@ void encode_segment(wire::Writer& w, const core::HeaderSegment& segment);
 /// malformed input.
 core::HeaderSegment decode_segment(wire::Reader& r);
 
+/// A decoded segment whose variable fields are *views* into the packet
+/// buffer instead of copies — the batched data plane's header
+/// representation.  Field semantics match decode_segment exactly
+/// (including the VNT padding discard, which leaves `port_info` empty);
+/// the spans stay valid only while the underlying buffer does.
+struct SegmentView {
+  std::uint8_t port = 0;
+  core::TypeOfService tos;
+  core::SegmentFlags flags;
+  std::span<const std::uint8_t> token;
+  std::span<const std::uint8_t> port_info;
+  std::size_t wire_size = 0;  ///< encoded size of this segment
+
+  [[nodiscard]] bool is_legal() const { return !flags.trm; }
+};
+
+/// Decodes the segment starting at @p offset of @p bytes without copying
+/// its fields.  Byte-for-byte the same acceptance rules as decode_segment;
+/// throws wire::CodecError on malformed input.  Allocation-free.
+SegmentView decode_segment_view(std::span<const std::uint8_t> bytes,
+                                std::size_t offset);
+
+/// Appends the encoding of one segment to @p out by raw byte appends —
+/// byte-identical to encode_segment of the equivalent HeaderSegment, but
+/// writing into a caller-owned (typically arena-backed, capacity-warm)
+/// buffer instead of a Writer.  The batched codec must not move a single
+/// byte on the wire: golden_wire_test pins the agreement.
+void append_segment_raw(wire::Bytes& out, std::uint8_t port,
+                        const core::TypeOfService& tos,
+                        const core::SegmentFlags& flags,
+                        std::span<const std::uint8_t> token,
+                        std::span<const std::uint8_t> port_info);
+
+/// Reverses the order of the trailer segments inside @p trailer *in place*
+/// (segment reversal is length-preserving, so no copy is needed): walks
+/// the segment sizes with decode_segment_view, then rotates the records
+/// with core::reverse_records_in_place.  Returns false — leaving the
+/// buffer unchanged — if the bytes do not parse as a whole number of
+/// segments or there are more than 2 * core::kMaxSegments of them.
+bool reverse_trailer_in_place(std::span<std::uint8_t> trailer);
+
 /// Encodes a full route (all segments, in order).
 wire::Bytes encode_route(const core::SourceRoute& route);
 

@@ -202,8 +202,268 @@ SRP_HOT_PATH void ViperRouter::record_flow(
 SRP_SIM_VISIBLE void ViperRouter::on_arrival(const net::Arrival& arrival) {
   ++stats_.received;
   arrival.packet->last_in_port = arrival.in_port;
-  handle_packet(arrival, arrival.packet->bytes,
-                /*synthetic_tree_copy=*/false);
+  if (!batching_) {
+    handle_packet(arrival, arrival.packet->bytes,
+                  /*synthetic_tree_copy=*/false);
+    return;
+  }
+  // Batched plane: coalesce every arrival of this instant and drain once.
+  // The drain event is scheduled at +0, so same-time FIFO ordering places
+  // it after all arrivals already delivered at this instant — the batch
+  // boundary IS the event boundary, which is what keeps the batched sim
+  // byte-identical to the per-packet one (all forward timing derives from
+  // arrival.head/tail, never from "processing time" within the instant).
+  if (ingress_.push(arrival)) {
+    // SRP_ALLOC_OK(one drain event per same-instant burst, not per packet)
+    sim_.after(0, [this] { drain_bursts(); });
+  }
+}
+
+void ViperRouter::set_batching(BatchConfig config) {
+  if (config.max_burst == 0) config.max_burst = 1;
+  batch_config_ = config;
+  arena_ = net::PacketArena(batch_config_.arena_capacity);
+  batching_ = true;
+}
+
+SRP_SIM_VISIBLE void ViperRouter::drain_bursts() {
+  while (!ingress_.empty()) {
+    forward_burst(ingress_.take(batch_config_.max_burst));
+  }
+  ingress_.reset();  // drop held packet references, re-arm scheduling
+}
+
+SRP_HOT_PATH void ViperRouter::forward_burst(
+    std::span<const net::Arrival> burst) {
+  // Pass 1: classify.  Pure — no counters move, nothing is charged — so a
+  // slow item replays through handle_packet() from scratch with no
+  // double-count and a fast item is guaranteed to reach admission.
+  burst_slots_.clear();
+  for (const net::Arrival& arrival : burst) {
+    // capacity-warm scratch; classify writes the view in place
+    SRP_ALLOC_OK(BurstSlot& slot = burst_slots_.emplace_back());
+    slot.fast = classify_fast(arrival, slot.view);
+  }
+
+  // Pass 2: prefetch validation tickets for this burst's uncached tokens.
+  prefetch_burst_tokens();
+
+  // Pass 3: per-item, in strict arrival order.  Slow items flush the
+  // accumulated observability first so the flow sampler draws in exactly
+  // the per-packet order.
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    const net::Arrival& arrival = burst[i];
+    if (burst_slots_[i].fast) {
+      forward_fast(arrival, burst_slots_[i].view);
+    } else {
+      flush_burst_obs();
+      handle_packet(arrival, arrival.packet->bytes,
+                    /*synthetic_tree_copy=*/false);
+    }
+  }
+  flush_burst_obs();
+
+  // Every prefetched ticket is normally consumed by its fast item's
+  // admission above.  The one escape: a slow item sharing the token value
+  // entered pending_verifies_ first, orphaning the fast item's ticket —
+  // settle such strays now so the engine's await-every-ticket contract
+  // holds.
+  if (!pending_tickets_.empty()) {
+    for (const auto& [key, ticket] : SRP_ORDER_OK(pending_tickets_)) {
+      (void)key;
+      (void)validation_engine_->await(ticket);
+    }
+    pending_tickets_.clear();
+  }
+}
+
+SRP_HOT_PATH bool ViperRouter::classify_fast(const net::Arrival& arrival,
+                                             SegmentView& view) const {
+  if (port_kind(arrival.in_port) == PortKind::kLan) return false;
+  try {
+    view = decode_segment_view(arrival.packet->bytes, 0);
+  } catch (const wire::CodecError&) {
+    return false;  // handle_packet counts the malformed drop
+  }
+  if (!view.is_legal()) return false;
+  if (view.port == core::kLocalPort) return false;
+  if (core::is_tree_info(view.port_info)) return false;
+  if (!tunnel_ports_.empty() && tunnel_ports_.contains(view.port)) {
+    return false;
+  }
+  if (!logical_ports_.empty() && logical_ports_.contains(view.port)) {
+    return false;
+  }
+  if (view.port > port_count()) return false;  // slow path counts the drop
+  if (port_kind(view.port) == PortKind::kLan) return false;
+  // kBlocking admission defers the packet with a copied image; keep that
+  // cold machinery on the reference path.
+  if (config_.require_tokens && authority_ != nullptr &&
+      config_.uncached_policy == tokens::UncachedPolicy::kBlocking) {
+    return false;
+  }
+  return true;
+}
+
+SRP_HOT_PATH void ViperRouter::prefetch_burst_tokens() {
+  if (!config_.require_tokens || authority_ == nullptr ||
+      validation_engine_ == nullptr) {
+    return;
+  }
+  prefetch_tokens_.clear();
+  prefetch_keys_.clear();
+  for (const BurstSlot& slot : burst_slots_) {
+    if (!slot.fast || slot.view.token.empty()) continue;
+    const std::uint64_t key = tokens::TokenCache::key_of(slot.view.token);
+    // Skip tokens already verifying, already ticketed, already cached —
+    // and dedup within the burst — so exactly one submission exists per
+    // distinct uncached token, the same as the per-packet path.
+    if (pending_verifies_.contains(key)) continue;
+    if (!pending_tickets_.empty() && pending_tickets_.contains(key)) continue;
+    if (std::find(prefetch_keys_.begin(), prefetch_keys_.end(), key) !=
+        prefetch_keys_.end()) {
+      continue;
+    }
+    if (token_cache_.probe(slot.view.token)) continue;
+    SRP_ALLOC_OK(prefetch_keys_.push_back(key));       // capacity-warm
+    SRP_ALLOC_OK(prefetch_tokens_.push_back(slot.view.token));
+  }
+  if (prefetch_tokens_.empty()) return;
+  prefetch_tickets_.clear();
+  validation_engine_->submit_batch(config_.router_id, prefetch_tokens_,
+                                   prefetch_tickets_);
+  SIRPENT_INVARIANT(prefetch_tickets_.size() == prefetch_keys_.size());
+  for (std::size_t i = 0; i < prefetch_keys_.size(); ++i) {
+    SRP_ALLOC_OK(
+        pending_tickets_.emplace(prefetch_keys_[i], prefetch_tickets_[i]));
+  }
+}
+
+SRP_HOT_PATH void ViperRouter::forward_fast(const net::Arrival& arrival,
+                                            const SegmentView& v) {
+  const int physical_port = v.port;  // classified: a plain physical port
+  net::TxPort& out = port(physical_port);
+  const wire::Bytes& bytes = arrival.packet->bytes;
+
+  const auto decision = admit_token_ref(
+      TokenRef{v.token, v.port, v.tos.priority, v.flags.rpf}, physical_port,
+      bytes.size());
+  if (!decision.has_value()) return;
+  // kBlocking was classified slow, so admission never defers here.
+  SIRPENT_INVARIANT(decision->extra_delay == 0);
+
+  // The zero-copy rewrite: remainder + return entry appended straight into
+  // a recycled arena slab whose capacity is warm — no Writer, no derive
+  // allocation, header fields as views throughout.
+  net::PacketPtr derived = arena_.acquire();
+  wire::Bytes& out_bytes = derived->bytes;
+  SRP_ALLOC_OK(out_bytes.insert(
+      out_bytes.end(),
+      bytes.begin() + static_cast<std::ptrdiff_t>(v.wire_size), bytes.end()));
+  {
+    // Byte-identical twin of make_return_entry() + encode_segment() for a
+    // point-to-point, non-tunnel arrival: return port = arrival port, DIB
+    // mirrored from the type of service, VNT set (no link header), token
+    // echoed when reversible.
+    core::SegmentFlags return_flags;
+    return_flags.vnt = true;
+    return_flags.dib = v.tos.drop_if_blocked;
+    append_segment_raw(out_bytes, static_cast<std::uint8_t>(arrival.in_port),
+                       v.tos, return_flags,
+                       decision->reversible
+                           ? v.token
+                           : std::span<const std::uint8_t>{},
+                       {});
+  }
+
+  bool truncated = false;
+  if (out_bytes.size() > out.config().mtu_bytes) {
+    // Same cut as forward(): resize to MTU minus the 4-byte truncation
+    // mark, then append the mark (an illegal segment, §2).
+    static constexpr std::size_t kMarkWire = 4;
+    SIRPENT_INVARIANT(out.config().mtu_bytes >= kMarkWire);
+    SRP_ALLOC_OK(out_bytes.resize(out.config().mtu_bytes - kMarkWire));
+    const core::HeaderSegment mark = core::HeaderSegment::truncation_marker();
+    append_segment_raw(out_bytes, mark.port, mark.tos, mark.flags, {}, {});
+    truncated = true;
+    ++stats_.truncated_forwards;
+    SIRPENT_ENSURES(out_bytes.size() == out.config().mtu_bytes);
+  }
+
+  // Packet::derive()'s bookkeeping, applied to the slab.
+  const net::Packet& src = *arrival.packet;
+  derived->id = src.id;
+  derived->created = src.created;
+  derived->flow = src.flow;
+  derived->hops = src.hops + 1;
+  derived->trace_id = src.trace_id;
+  derived->route_digest = src.route_digest;
+  derived->parent = arrival.packet;
+  derived->truncated = truncated;
+  derived->last_in_port = arrival.in_port;
+  derived->feedforward = src.feedforward;
+
+  const ForwardTiming timing =
+      forward_timing(arrival, v.wire_size, physical_port);
+  const net::TxMeta meta = meta_for(v.tos);
+
+  ++stats_.forwarded;
+  if (obs_hop_latency_ != nullptr) {
+    obs_hop_latency_->record(
+        static_cast<std::uint64_t>(timing.earliest - arrival.head));
+  }
+  if (obs_flow_ != nullptr) {
+    obs::FlowSample sample;
+    sample.route_digest = src.route_digest;
+    sample.packet_id = src.id;
+    sample.trace_id = src.trace_id;
+    sample.account = decision->account;
+    sample.tos_class = v.tos.priority;
+    sample.cut_through = timing.cut_through;
+    sample.in_port = static_cast<std::uint16_t>(arrival.in_port);
+    sample.out_port = static_cast<std::uint16_t>(physical_port);
+    sample.bytes = static_cast<std::uint32_t>(bytes.size());
+    sample.now = timing.earliest;
+    sample.header =
+        std::span(bytes).first(std::min(v.wire_size, bytes.size()));
+    SRP_ALLOC_OK(burst_samples_.push_back(sample));  // flushed this drain
+  }
+  if (obs_recorder_ != nullptr && derived->trace_id != 0) {
+    obs::SpanRecord span;
+    span.trace_id = derived->trace_id;
+    span.hop = src.hops;
+    span.kind = obs::SpanKind::kHop;
+    span.token = decision->outcome;
+    span.cut_through = timing.cut_through;
+    span.in_port = static_cast<std::uint16_t>(arrival.in_port);
+    span.out_port = static_cast<std::uint16_t>(physical_port);
+    span.start = arrival.head;
+    span.decision = timing.decision;
+    span.end = timing.earliest;
+    span.set_component(name());
+    SRP_ALLOC_OK(burst_spans_.push_back(span));  // flushed this drain
+  }
+  if (shaper_) {
+    // The shaper lookahead is the only consumer of the next-hop peek, so
+    // the second segment decode is skipped entirely when no congestion
+    // layer is attached.
+    const std::uint8_t next_port = peek_next_port(bytes, v.wire_size);
+    if (shaper_(physical_port, next_port, derived, meta, timing.earliest)) {
+      return;  // congestion layer took custody
+    }
+  }
+  out.enqueue(std::move(derived), meta, timing.earliest);
+}
+
+SRP_HOT_PATH void ViperRouter::flush_burst_obs() {
+  if (!burst_samples_.empty()) {
+    obs_flow_->on_forward_burst(burst_samples_);
+    burst_samples_.clear();
+  }
+  if (!burst_spans_.empty()) {
+    obs_recorder_->record_burst(burst_spans_);
+    burst_spans_.clear();
+  }
 }
 
 SRP_HOT_PATH void ViperRouter::handle_packet(
@@ -363,20 +623,28 @@ core::HeaderSegment ViperRouter::make_return_entry(
 SRP_HOT_PATH std::optional<ViperRouter::TokenDecision>
 ViperRouter::admit_token(const core::HeaderSegment& seg, int physical_port,
                          std::size_t packet_bytes) {
+  return admit_token_ref(
+      TokenRef{seg.token, seg.port, seg.tos.priority, seg.flags.rpf},
+      physical_port, packet_bytes);
+}
+
+SRP_HOT_PATH std::optional<ViperRouter::TokenDecision>
+ViperRouter::admit_token_ref(const TokenRef& ref, int physical_port,
+                             std::size_t packet_bytes) {
   if (!config_.require_tokens || authority_ == nullptr) {
     // Enforcement disabled: echo any supplied token into the trailer so
     // the receiver can reuse it on the return route.
-    return TokenDecision{0, !seg.token.empty()};
+    return TokenDecision{0, !ref.token.empty()};
   }
   (void)physical_port;
-  if (seg.token.empty()) {
+  if (ref.token.empty()) {
     ++stats_.dropped_unauthorized;
     count_token_outcome(obs::TokenOutcome::kRejected);
     return std::nullopt;
   }
 
   const std::optional<tokens::TokenCache::Entry> entry =
-      token_cache_.lookup(seg.token);
+      token_cache_.lookup(ref.token);
   if (entry.has_value()) {
     if (entry->flagged) {
       ++stats_.dropped_unauthorized;
@@ -388,9 +656,9 @@ ViperRouter::admit_token(const core::HeaderSegment& seg, int physical_port,
     // reverse charging is granted and the packet is marked RPF ("the
     // token can be used for the return route as well", §2.2).
     const bool port_ok =
-        entry->body.port == seg.port ||
-        (seg.flags.rpf && entry->body.reverse_ok);
-    if (!port_ok || core::priority_rank(seg.tos.priority) >
+        entry->body.port == ref.port ||
+        (ref.rpf && entry->body.reverse_ok);
+    if (!port_ok || core::priority_rank(ref.priority) >
                         core::priority_rank(entry->body.max_priority)) {
       ++stats_.dropped_unauthorized;
       count_token_outcome(obs::TokenOutcome::kRejected);
@@ -404,7 +672,7 @@ ViperRouter::admit_token(const core::HeaderSegment& seg, int physical_port,
       return std::nullopt;
     }
     SIRPENT_INVARIANT(ledger_ != nullptr);
-    if (token_cache_.charge(seg.token, packet_bytes, *ledger_) !=
+    if (token_cache_.charge(ref.token, packet_bytes, *ledger_) !=
         tokens::TokenCache::ChargeResult::kCharged) {
       ++stats_.dropped_token_limit;
       count_token_outcome(obs::TokenOutcome::kRejected);
@@ -424,17 +692,26 @@ ViperRouter::admit_token(const core::HeaderSegment& seg, int physical_port,
   // below awaits the ticket at exactly the instant the serial code would
   // have computed the same (pure-function) result, so the simulation
   // schedule is bit-identical either way.
-  const std::uint64_t key = tokens::TokenCache::key_of(seg.token);
+  const std::uint64_t key = tokens::TokenCache::key_of(ref.token);
   if (!pending_verifies_.contains(key)) {
     // Verification slow path: one-time bookkeeping per distinct token
     // value, not per packet — the blessed allocations below amortize to
     // zero in steady state (pinned by tests/alloc_budget_test.cpp).
     SRP_ALLOC_OK(pending_verifies_.insert(key));
-    SRP_ALLOC_OK(wire::Bytes token_copy = seg.token);
+    SRP_ALLOC_OK(
+        wire::Bytes token_copy(ref.token.begin(), ref.token.end()));
     const std::uint64_t first_packet_bytes = packet_bytes;
     std::optional<tokens::ValidationEngine::Ticket> ticket;
     if (validation_engine_ != nullptr) {
-      ticket = validation_engine_->submit(config_.router_id, token_copy);
+      // A batched drain prefetched this burst's uncached tokens; consume
+      // the parked ticket instead of re-submitting.
+      const auto prefetched = pending_tickets_.find(key);
+      if (prefetched != pending_tickets_.end()) {
+        ticket = prefetched->second;
+        pending_tickets_.erase(prefetched);
+      } else {
+        ticket = validation_engine_->submit(config_.router_id, token_copy);
+      }
     }
     // SRP_ALLOC_OK(verification completion event, once per token value)
     sim_.after(config_.verify_delay, [this, token_copy = std::move(token_copy),

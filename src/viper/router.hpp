@@ -24,7 +24,9 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -32,6 +34,8 @@
 #include "check/analysis.hpp"
 #include "core/segment.hpp"
 #include "core/trailer.hpp"
+#include "net/arena.hpp"
+#include "net/burst.hpp"
 #include "net/ethernet.hpp"
 #include "net/network.hpp"
 #include "obs/flow_sink.hpp"
@@ -213,6 +217,36 @@ class ViperRouter : public net::PortedNode {
   [[nodiscard]] tokens::TokenCache& token_cache() { return token_cache_; }
   [[nodiscard]] std::uint32_t router_id() const { return config_.router_id; }
 
+  // --- batched data plane (DESIGN.md §11) ---
+
+  /// Tuning for the batched forward path.
+  struct BatchConfig {
+    /// Packets handed to one forward_burst() call.  Larger bursts amortize
+    /// better; batch boundaries still align to event boundaries, so this
+    /// is a pure engine knob with no effect on simulated behaviour.
+    std::size_t max_burst = 16;
+    /// Packet slabs the arena may pool (free slabs recycle, zero-alloc).
+    std::size_t arena_capacity = net::PacketArena::kDefaultCapacity;
+  };
+
+  /// Switches the forward path to run-to-completion bursts: same-instant
+  /// arrivals coalesce into one drain event that runs token validation,
+  /// header parsing, flow accounting and observability as batch passes
+  /// over arena-backed buffers.  Off by default; the per-packet and
+  /// batched paths produce byte-identical simulations (pinned by
+  /// tests/batch_equivalence_test.cpp).
+  void set_batching(BatchConfig config);
+  void disable_batching() { batching_ = false; }
+  [[nodiscard]] bool batching_enabled() const { return batching_; }
+  [[nodiscard]] const net::PacketArena& arena() const { return arena_; }
+
+  /// Forwards @p burst — a vector of same-instant arrivals, in arrival
+  /// order — through the batch passes.  Requires set_batching().  Public
+  /// so burst-capable drivers (benches, the alloc-budget test) can hand
+  /// a dequeued vector straight to the engine; in the sim proper the
+  /// drain event scheduled by on_arrival() is the only caller.
+  void forward_burst(std::span<const net::Arrival> burst);
+
   void on_arrival(const net::Arrival& arrival) override;
 
  private:
@@ -259,6 +293,52 @@ class ViperRouter : public net::PortedNode {
                                            int physical_port,
                                            std::size_t packet_bytes);
 
+  /// The token-relevant slice of a segment as *views* — what admission
+  /// needs, without materializing a HeaderSegment.
+  struct TokenRef {
+    std::span<const std::uint8_t> token;
+    std::uint8_t port = 0;
+    std::uint8_t priority = 0;
+    bool rpf = false;
+  };
+  /// The real admission logic; admit_token() is a thin wrapper over this.
+  std::optional<TokenDecision> admit_token_ref(const TokenRef& ref,
+                                               int physical_port,
+                                               std::size_t packet_bytes);
+
+  // --- batched forward path internals ---
+
+  /// Per-item classification result for one burst.
+  struct BurstSlot {
+    SegmentView view;
+    bool fast = false;  ///< eligible for forward_fast()
+  };
+
+  /// True when @p arrival can take the zero-copy fast path: plain
+  /// point-to-point in and out, a legal physical-port segment, no tunnel /
+  /// logical / tree / control dispatch, and no blocking token policy.
+  /// Pure — no counters move — so a slow item replays from scratch.
+  bool classify_fast(const net::Arrival& arrival, SegmentView& view) const;
+
+  /// Batch pass 2: submits validation tickets for the burst's distinct
+  /// uncached tokens before any packet is admitted, so the engine's
+  /// workers overlap the whole burst.  Tickets are parked in
+  /// pending_tickets_ and consumed by admit_token_ref()'s miss path.
+  void prefetch_burst_tokens();
+
+  /// The zero-copy per-item pass: admission, in-place header rewrite into
+  /// an arena slab, timing, accounting.  Mirrors forward() exactly for the
+  /// packets classify_fast() accepts.
+  void forward_fast(const net::Arrival& arrival, const SegmentView& view);
+
+  /// Publishes the burst's accumulated flow samples and hop spans through
+  /// the batch-pass observer hooks.  Called before any slow-path item (to
+  /// keep the sampler stream in strict item order) and at burst end.
+  void flush_burst_obs();
+
+  /// Drain event body: forwards everything coalesced at this instant.
+  void drain_bursts();
+
   /// When the switch decision happens and when output may start (§2.1).
   struct ForwardTiming {
     sim::Time decision = 0;  ///< header+segment in hand, route resolved
@@ -287,6 +367,23 @@ class ViperRouter : public net::PortedNode {
   tokens::ValidationEngine* validation_engine_ = nullptr;
   tokens::TokenCache token_cache_;
   std::unordered_set<std::uint64_t> pending_verifies_;
+
+  // Batched data plane state.  The scratch vectors keep their capacity
+  // across bursts, so the steady-state drain is allocation-free.
+  bool batching_ = false;
+  BatchConfig batch_config_;
+  net::PacketArena arena_;
+  net::ArrivalBurst ingress_;
+  std::vector<BurstSlot> burst_slots_;
+  std::vector<obs::FlowSample> burst_samples_;
+  std::vector<obs::SpanRecord> burst_spans_;
+  /// Verification tickets prefetched for the burst in flight, by token
+  /// cache key.  Consumed by admit_token_ref() within the same drain.
+  std::unordered_map<std::uint64_t, tokens::ValidationEngine::Ticket>
+      pending_tickets_;
+  std::vector<std::span<const std::uint8_t>> prefetch_tokens_;
+  std::vector<std::uint64_t> prefetch_keys_;
+  std::vector<tokens::ValidationEngine::Ticket> prefetch_tickets_;
 
   ControlHandler control_handler_;
   Shaper shaper_;

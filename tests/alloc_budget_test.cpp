@@ -8,9 +8,10 @@
 // a change sneaks an extra per-packet allocation in anywhere — router,
 // port, codec, flow accounting — the budget assertion moves and the
 // regression is attributable to this PR, not discovered in a profile
-// three PRs later.  The budget below is the measured cost plus modest
-// headroom, deliberately tight; ROADMAP item 1 (batched zero-copy data
-// plane) is expected to *lower* it and should update the constant.
+// three PRs later.  Two budgets are pinned: the per-packet reference
+// path's end-to-end cost (measured cost plus modest headroom), and the
+// batched arena-backed forward path, which must be exactly zero once the
+// slabs are warm.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -115,6 +116,63 @@ TEST(AllocBudget, SteadyStateLineForwardingStaysWithinBudget) {
   EXPECT_GE(per_packet, kSteadyStatePacketBudget / 4)
       << "measured " << per_packet
       << " allocations/packet — tighten kSteadyStatePacketBudget";
+}
+
+/// The tentpole claim of the batched data plane: once the arena slabs and
+/// the burst scratch vectors are warm, the batched forward path allocates
+/// *zero* times per packet — every derived packet runs out of a recycled
+/// slab whose byte capacity survives reset, header fields are views into
+/// the arrival buffer, and the rewrite appends in place.  Measured on the
+/// router alone (output port administratively down, so enqueue drops
+/// without link machinery; driving through sim events would charge the
+/// event queue's own storage to the forward path).
+TEST(AllocBudget, BatchedForwardPathIsAllocationFreeOnceWarm) {
+  sim::Simulator sim;
+  viper::ViperRouter router(sim, "r.batch", {});
+  const net::LinkConfig link;
+  router.add_port(link);         // port 1: ingress side
+  router.add_port(link);         // port 2: egress
+  router.port(2).set_up(false);  // drop at enqueue, zero events
+  viper::ViperRouter::BatchConfig batch;
+  batch.max_burst = 64;
+  router.set_batching(batch);
+
+  core::SourceRoute route;
+  route.segments.push_back(test::p2p_segment(2));
+  route.segments.push_back(test::local_segment());
+  const wire::Bytes bytes = viper::encode_packet(route, pattern_bytes(256));
+
+  net::PacketFactory packets;
+  std::vector<net::Arrival> burst;
+  for (int i = 0; i < 64; ++i) {
+    net::Arrival arrival;
+    arrival.packet = packets.make(bytes, 0);
+    arrival.in_port = 1;
+    arrival.head = 0;
+    arrival.tail = 2048;
+    arrival.rate_bps = link.rate_bps;
+    burst.push_back(std::move(arrival));
+  }
+
+  // Warm-up: the arena pool fills, slab byte capacities grow to the
+  // packet size, and the classification scratch reaches steady capacity.
+  constexpr std::uint64_t kWarmBursts = 8;
+  for (std::uint64_t i = 0; i < kWarmBursts; ++i) {
+    router.forward_burst(burst);
+  }
+
+  constexpr std::uint64_t kBursts = 100;
+  const std::uint64_t before = allocation_count();
+  for (std::uint64_t i = 0; i < kBursts; ++i) router.forward_burst(burst);
+  EXPECT_EQ(allocation_count() - before, 0u)
+      << "the steady-state batched forward path must not allocate; a new "
+         "allocation here breaks the zero-copy arena design (DESIGN.md "
+         "§11)";
+
+  EXPECT_EQ(router.stats().forwarded, (kWarmBursts + kBursts) * 64);
+  // The measured window really ran on recycled slabs, not fresh ones.
+  EXPECT_GT(router.arena().stats().recycled, kBursts * 64 - 1);
+  EXPECT_LE(router.arena().stats().fresh, 64u);
 }
 
 TEST(AllocBudget, CutThroughPeekDoesNotAllocate) {

@@ -37,169 +37,9 @@ namespace srp::fault {
 namespace {
 
 using test::pattern_bytes;
-
-constexpr sim::Time kTrafficEnd = 600 * sim::kMillisecond;
-constexpr sim::Time kDrainEnd = 3 * sim::kSecond;
-constexpr sim::Time kFlapAt = 200 * sim::kMillisecond;
-constexpr sim::Time kFlapFor = 30 * sim::kMillisecond;
-
-/// Everything the replay contract must reproduce, keyed for EXPECT_EQ
-/// diffing.
-using Digest = std::map<std::string, std::uint64_t>;
-
-struct ChaosOutcome {
-  int issued = 0;
-  int completed = 0;      ///< callbacks fired (ok or error)
-  int ok = 0;
-  int mismatched = 0;     ///< acked responses whose bytes were wrong
-  int ok_after_flap = 0;  ///< successes completing after the flap window
-  Digest digest;
-
-  bool operator==(const ChaosOutcome&) const = default;
-};
-
-/// Runs the full chaos scenario.  The world is built from scratch each
-/// call so reruns share no state but the seed.  @p inspect, when set, sees
-/// the drained fabric before teardown (for cross-checking external planes
-/// against fabric-owned state like the ledger).
-ChaosOutcome run_chaos(std::uint64_t seed,
-                       const obs::Observer& observer = {},
-                       const std::function<void(dir::Fabric&)>& inspect = {}) {
-  sim::Simulator sim;
-  dir::Fabric fabric(sim);
-  auto& client_host = fabric.add_host("client.chaos");
-  auto& server_host = fabric.add_host("server.chaos");
-  auto& r1 = fabric.add_router("r1");
-  auto& r2 = fabric.add_router("r2");   // primary mid hop
-  auto& r3a = fabric.add_router("r3a");  // backup path, one router longer
-  auto& r3b = fabric.add_router("r3b");
-  auto& r4 = fabric.add_router("r4");
-  dir::LinkParams fast;
-  fast.prop_delay = 10 * sim::kMicrosecond;
-  dir::LinkParams slower;
-  slower.prop_delay = 15 * sim::kMicrosecond;
-  fabric.connect(client_host, r1, fast);
-  fabric.connect(r1, r2, fast);
-  fabric.connect(r2, r4, fast);
-  fabric.connect(r1, r3a, slower);
-  fabric.connect(r3a, r3b, slower);
-  fabric.connect(r3b, r4, slower);
-  fabric.connect(r4, server_host, fast);
-
-  fabric.enable_tokens(0xC4A05, /*enforce=*/true,
-                       tokens::UncachedPolicy::kOptimistic);
-  fabric.enable_congestion_control();
-  fabric.enable_observability(observer);
-
-  // The attack: every lane live on every port of every node, ≥1% each,
-  // plus token-cache forgetting and two explicit flap windows that kill
-  // the primary path mid-run.
-  FaultPlan plan;
-  plan.seed = seed;
-  plan.defaults.drop_rate = 0.01;
-  plan.defaults.corrupt_rate = 0.01;
-  plan.defaults.duplicate_rate = 0.01;
-  plan.defaults.reorder_rate = 0.01;
-  plan.defaults.jitter_rate = 0.01;
-  plan.token_poisons_per_second = 100.0;  // forget mode: recoverable
-  stats::Registry fault_stats;
-  FaultEngine engine(sim, plan, fault_stats);
-  for (auto* router : fabric.routers()) {
-    engine.attach_all(*router);
-    engine.attach_token_cache(std::string(router->name()),
-                              router->token_cache());
-  }
-  engine.attach_all(client_host);
-  engine.attach_all(server_host);
-  engine.schedule_flap(r1.port(2), kFlapAt, kFlapFor);
-  engine.schedule_flap(r2.port(1), kFlapAt, kFlapFor);
-
-  vmtp::VmtpConfig config;
-  config.max_retries = 6;
-  auto client = std::make_unique<vmtp::VmtpEndpoint>(sim, client_host,
-                                                     0xC1, config);
-  auto server = std::make_unique<vmtp::VmtpEndpoint>(sim, server_host,
-                                                     0x5E, config);
-  // Echo server with a visible transform: a correct "ok" must match this
-  // byte-for-byte, so a corrupted-but-acked delivery cannot hide.
-  server->serve([](std::span<const std::uint8_t> req,
-                   const viper::Delivery&) {
-    wire::Bytes response(req.begin(), req.end());
-    for (auto& byte : response) byte ^= 0x5A;
-    return response;
-  });
-
-  dir::RouteCacheConfig cache_config;
-  cache_config.ttl = kDrainEnd;  // reroute on failure reports, not expiry
-  dir::RouteCache& cache = fabric.route_cache(client_host, cache_config);
-  client->set_failure_hook([&] { cache.report_failure("server.chaos"); });
-  client->set_rtt_hook(
-      [&](sim::Time rtt) { cache.report_rtt("server.chaos", rtt); });
-
-  ChaosOutcome outcome;
-  dir::QueryOptions q;
-  q.dest_endpoint = 0x5E;
-  sim::Rng traffic_rng(seed * 131 + 17);
-  test::drive(sim, 1, kTrafficEnd, [&]() -> sim::Time {
-    const auto route = cache.route_to("server.chaos", q);
-    if (route.has_value()) {
-      const wire::Bytes request = pattern_bytes(
-          1 + traffic_rng.uniform_int(0, 2000),
-          static_cast<std::uint8_t>(outcome.issued));
-      wire::Bytes expected = request;
-      for (auto& byte : expected) byte ^= 0x5A;
-      ++outcome.issued;
-      client->invoke(*route, 0x5E, request,
-                     [&outcome, expected = std::move(expected),
-                      &sim](vmtp::Result r) {
-                       ++outcome.completed;
-                       if (!r.ok) return;
-                       if (r.response == expected) {
-                         ++outcome.ok;
-                         if (sim.now() > kFlapAt + kFlapFor) {
-                           ++outcome.ok_after_flap;
-                         }
-                       } else {
-                         ++outcome.mismatched;
-                       }
-                     });
-    }
-    return static_cast<sim::Time>(
-        sim::kMillisecond + traffic_rng.uniform_int(0, sim::kMillisecond));
-  });
-
-  // run_until (not run()): the poisoning process reschedules forever.
-  sim.run_until(kDrainEnd);
-
-  outcome.digest = fault_stats.snapshot();
-  const auto& cs = client->stats();
-  const auto& ss = server->stats();
-  outcome.digest["vmtp.client.requests_sent"] = cs.requests_sent;
-  outcome.digest["vmtp.client.responses_received"] = cs.responses_received;
-  outcome.digest["vmtp.client.retransmitted"] = cs.retransmitted_packets;
-  outcome.digest["vmtp.client.timeouts"] = cs.timeouts;
-  outcome.digest["vmtp.client.failures"] = cs.failures;
-  outcome.digest["vmtp.client.checksum_drops"] = cs.checksum_drops;
-  outcome.digest["vmtp.client.misdeliveries"] = cs.misdeliveries;
-  outcome.digest["vmtp.server.requests_served"] = ss.requests_served;
-  outcome.digest["vmtp.server.checksum_drops"] = ss.checksum_drops;
-  outcome.digest["vmtp.server.misdeliveries"] = ss.misdeliveries;
-  outcome.digest["vmtp.server.duplicate_requests"] = ss.duplicate_requests;
-  outcome.digest["chaos.ok"] = static_cast<std::uint64_t>(outcome.ok);
-  outcome.digest["chaos.completed"] =
-      static_cast<std::uint64_t>(outcome.completed);
-
-  // Congestion soft state has expired back to "unlimited" by the end of
-  // the drain window ("as soft cached state, it can be discarded").
-  cc::SourceThrottle* throttle = fabric.throttle_of(client_host);
-  EXPECT_NE(throttle, nullptr);
-  if (throttle != nullptr) {
-    EXPECT_TRUE(
-        std::isinf(throttle->rate(cc::FlowKey{fabric.id_of(r1), 2})));
-  }
-  if (inspect) inspect(fabric);
-  return outcome;
-}
+using test::run_chaos;  // hoisted to test_util.hpp (batch suite reuses it)
+using ChaosOutcome = test::ChaosOutcome;
+using Digest = test::ChaosDigest;
 
 class ChaosSuite : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -15,11 +15,13 @@
 #include <map>
 #include <optional>
 
+#include "core/trailer.hpp"
 #include "directory/fabric.hpp"
 #include "fault/engine.hpp"
 #include "sim/random.hpp"
 #include "test_util.hpp"
 #include "transport/header.hpp"
+#include "viper/codec.hpp"
 
 namespace srp {
 namespace {
@@ -209,6 +211,117 @@ TEST_P(ChainReversalProperty, ReplyAlwaysReturnsAcrossNHops) {
 
 INSTANTIATE_TEST_SUITE_P(Hops, ChainReversalProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 47));
+
+class TrailerReversalProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// A randomized but *encodable* trailer segment: when VNT is set on a
+/// legal segment the decoder discards port_info, so real trailer entries
+/// (and this generator) keep it empty there — the in-place reversal is
+/// byte-preserving regardless; this just keeps the decoded-segment
+/// cross-check lossless too.
+core::HeaderSegment random_trailer_segment(sim::Rng& rng) {
+  core::HeaderSegment seg;
+  seg.port = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  seg.tos.priority = static_cast<std::uint8_t>(rng.uniform_int(0, 15));
+  seg.flags.vnt = rng.uniform_int(0, 1) == 1;
+  seg.flags.dib = rng.uniform_int(0, 1) == 1;
+  // The decoder mirrors the DIB flag into tos.drop_if_blocked; keep the
+  // generated segment consistent so decode(encode(seg)) == seg.
+  seg.tos.drop_if_blocked = seg.flags.dib;
+  seg.flags.rpf = rng.uniform_int(0, 1) == 1;
+  seg.flags.trm = rng.uniform_int(0, 9) == 0;  // occasional TRM mark
+  // Mostly short fields; occasionally >254 bytes to force the 32-bit
+  // length escape (a different wire size for the same field count).
+  const auto field_len = [&rng]() -> std::size_t {
+    return rng.uniform_int(0, 19) == 0 ? 255 + rng.uniform_int(0, 40)
+                                       : rng.uniform_int(0, 10);
+  };
+  seg.token = pattern_bytes(field_len(),
+                            static_cast<std::uint8_t>(rng.uniform_int(1, 200)));
+  if (!(seg.flags.vnt && !seg.flags.trm)) {
+    seg.port_info = pattern_bytes(
+        field_len(), static_cast<std::uint8_t>(rng.uniform_int(1, 200)));
+  }
+  return seg;
+}
+
+TEST_P(TrailerReversalProperty, InPlaceReversalMatchesCopyReference) {
+  sim::Rng rng(GetParam() * 0x9E37 + 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    std::vector<core::HeaderSegment> segments;
+    std::vector<std::size_t> sizes;
+    wire::Writer w;
+    for (std::size_t i = 0; i < n; ++i) {
+      segments.push_back(random_trailer_segment(rng));
+      sizes.push_back(viper::segment_wire_size(segments.back()));
+      viper::encode_segment(w, segments.back());
+    }
+    const wire::Bytes original = std::move(w).take();
+
+    // Copy-based reference: slice the buffer into records by the encoded
+    // sizes of the *original* segments (independent of the view decoder),
+    // then concatenate the slices in reverse order.
+    wire::Bytes reference;
+    std::vector<std::pair<std::size_t, std::size_t>> records;
+    std::size_t offset = 0;
+    for (const std::size_t size : sizes) {
+      records.emplace_back(offset, size);
+      offset += size;
+    }
+    ASSERT_EQ(offset, original.size());
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      reference.insert(reference.end(),
+                       original.begin() + static_cast<std::ptrdiff_t>(it->first),
+                       original.begin() +
+                           static_cast<std::ptrdiff_t>(it->first + it->second));
+    }
+
+    wire::Bytes in_place = original;
+    ASSERT_TRUE(viper::reverse_trailer_in_place(in_place)) << "trial "
+                                                           << trial;
+    EXPECT_EQ(in_place, reference) << "trial " << trial;
+
+    // The decoded segment list is the exact reverse of the original's.
+    wire::Reader r(in_place);
+    const auto decoded = viper::decode_segments(r);
+    ASSERT_EQ(decoded.size(), segments.size());
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+      EXPECT_EQ(decoded[i], segments[segments.size() - 1 - i])
+          << "trial " << trial << " segment " << i;
+    }
+
+    // Reversal is an involution: a second pass restores the original.
+    ASSERT_TRUE(viper::reverse_trailer_in_place(in_place));
+    EXPECT_EQ(in_place, original) << "trial " << trial;
+  }
+}
+
+TEST_P(TrailerReversalProperty, MalformedTrailersAreLeftUntouched) {
+  sim::Rng rng(GetParam() * 0xB5 + 3);
+  for (int trial = 0; trial < 20; ++trial) {
+    wire::Writer w;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    for (std::size_t i = 0; i < n; ++i) {
+      viper::encode_segment(w, random_trailer_segment(rng));
+    }
+    wire::Bytes bytes = std::move(w).take();
+    // Chop mid-segment: no whole-number-of-segments parse exists (a
+    // truncated final segment either under-runs its length fields or the
+    // fixed prefix).
+    bytes.resize(bytes.size() -
+                 static_cast<std::size_t>(rng.uniform_int(
+                     1, static_cast<std::uint64_t>(
+                            std::min<std::size_t>(3, bytes.size() - 1)))));
+    const wire::Bytes before = bytes;
+    EXPECT_FALSE(viper::reverse_trailer_in_place(bytes));
+    EXPECT_EQ(bytes, before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrailerReversalProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
 
 class FaultCompositionProperty
     : public ::testing::TestWithParam<std::uint64_t> {};
