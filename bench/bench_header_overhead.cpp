@@ -11,9 +11,11 @@
 // the real encoded VIPER header segment sizes for the hop types the paper
 // assumes, and (c) regenerates the overhead table across hop counts,
 // against the fixed 20-byte IP header.
+#include <array>
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/telemetry.hpp"
 #include "viper/codec.hpp"
 
 int main() {
@@ -128,6 +130,49 @@ int main() {
     table.note("includes the final local segment and the 2 B data length; "
                "trailer grows by ~the same per hop in flight.");
     table.print();
+    std::puts("");
+  }
+
+  // (e) Trailer bytes per hop with in-band path telemetry off vs on.  A
+  // marked packet's trailer grows by the reversed return entry (as every
+  // packet's does) plus one fixed-size telemetry pseudo-segment per hop.
+  {
+    core::HeaderSegment entry;  // a point-to-point reversed return entry
+    entry.port = 1;
+    entry.flags.vnt = true;
+    const std::size_t per_hop_off = viper::segment_wire_size(entry);
+
+    obs::HopTelemetry t;
+    std::array<std::uint8_t, obs::kHopTelemetryWire> payload{};
+    t.encode(payload);
+    core::SegmentFlags trm;
+    trm.trm = true;
+    wire::Bytes record;
+    viper::append_segment_raw(record, core::kTelemetryPort,
+                              core::TypeOfService{}, trm, {}, payload);
+    const std::size_t per_hop_on = per_hop_off + record.size();
+
+    const double avg_packet = 633.0;
+    stats::Table table("trailer bytes per hop: path telemetry off vs on");
+    table.columns({"hops", "trailer B (off)", "off %", "trailer B (on)",
+                   "on %"});
+    for (int hops : {1, 2, 4, 8, 48}) {
+      const double off = static_cast<double>(hops * per_hop_off);
+      const double on = static_cast<double>(
+          hops * per_hop_on);
+      table.row({std::to_string(hops), stats::Table::num(off, 0),
+                 stats::Table::num(off / (off + avg_packet) * 100.0, 2),
+                 stats::Table::num(on, 0),
+                 stats::Table::num(on / (on + avg_packet) * 100.0, 2)});
+    }
+    table.note("telemetry record = 4 B pseudo-segment prefix + " +
+               std::to_string(obs::kHopTelemetryWire) +
+               " B payload, sampled 1-in-N at the origin — the cost is "
+               "paid only by marked packets.");
+    table.print();
+    // Machine-parseable summary for scripts/bench_to_json.py.
+    std::printf("INT_BYTES per_hop_off=%zu per_hop_on=%zu record=%zu\n",
+                per_hop_off, per_hop_on, record.size());
   }
   return 0;
 }

@@ -1,0 +1,122 @@
+// In-band path telemetry overhead on the router forward path.
+//
+// Telemetry rides the same cost contract as the rest of the obs layer:
+// the stamp is gated on one bool && one side-band bit, so a fabric with
+// telemetry wired but no packet marked must forward at (essentially) the
+// unwired price.  Three end-to-end configurations of a one-router line
+// (src --- r1 --- dst), timing send + full drain per packet:
+//
+//   no_telemetry    — nothing wired (the normal data path, baseline),
+//   wired_unmarked  — enable_path_telemetry with sample_period 0: every
+//                     router takes the untaken branch, every send draws
+//                     the (never-marking) sampler — the disabled path,
+//   marked          — sample_period 1: every packet stamped at the hop,
+//                     decoded and fed through the collector at the sink.
+//
+// Plus a micro-benchmark of the stamp itself (encode + raw append into a
+// capacity-warm buffer — what stamp_telemetry does per hop).
+//
+// scripts/check_int_overhead.py gates CI on wired_unmarked staying within
+// a small multiple of no_telemetry.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "directory/fabric.hpp"
+#include "obs/telemetry.hpp"
+#include "viper/codec.hpp"
+#include "viper/host.hpp"
+
+namespace {
+
+using namespace srp;
+
+enum class Mode { kNoTelemetry, kWiredUnmarked, kMarked };
+
+void BM_Forward(benchmark::State& state, Mode mode) {
+  sim::Simulator sim;
+  dir::Fabric fabric(sim);
+  auto& src = fabric.add_host("src.bench");
+  auto& dst = fabric.add_host("dst.bench");
+  auto& r1 = fabric.add_router("r1");
+  fabric.connect(src, r1);
+  fabric.connect(r1, dst);
+  dst.set_default_handler([](const viper::Delivery&) {});
+
+  switch (mode) {
+    case Mode::kNoTelemetry:
+      break;
+    case Mode::kWiredUnmarked: {
+      dir::PathTelemetryConfig config;
+      config.sample_period = 0;  // wired, never marks
+      fabric.enable_path_telemetry(config);
+      break;
+    }
+    case Mode::kMarked: {
+      dir::PathTelemetryConfig config;
+      config.sample_period = 1;  // every packet stamped + collected
+      fabric.enable_path_telemetry(config);
+      break;
+    }
+  }
+
+  const auto routes =
+      fabric.directory().query(fabric.id_of(src), "dst.bench", {});
+  if (routes.empty()) {
+    state.SkipWithError("no route");
+    return;
+  }
+  const wire::Bytes payload(256, 0x42);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    src.send(routes.front().route, payload);
+    sim.run();  // one packet through the whole line per iteration
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+
+void BM_ForwardNoTelemetry(benchmark::State& state) {
+  BM_Forward(state, Mode::kNoTelemetry);
+}
+void BM_ForwardWiredUnmarked(benchmark::State& state) {
+  BM_Forward(state, Mode::kWiredUnmarked);
+}
+void BM_ForwardMarked(benchmark::State& state) {
+  BM_Forward(state, Mode::kMarked);
+}
+
+/// The per-hop stamp in isolation: big-endian encode into a stack buffer,
+/// then the raw pseudo-segment append into a capacity-warm trailer.
+void BM_StampEncode(benchmark::State& state) {
+  obs::HopTelemetry t;
+  t.router_id = 3;
+  t.egress_port = 2;
+  t.in_port = 1;
+  core::SegmentFlags flags;
+  flags.trm = true;
+  wire::Bytes out;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    t.hop = static_cast<std::uint8_t>(n & 0x1F);
+    t.arrival_ps = n;
+    t.depart_ps = n + 1000;
+    std::array<std::uint8_t, obs::kHopTelemetryWire> payload;
+    t.encode(payload);
+    viper::append_segment_raw(out, core::kTelemetryPort,
+                              core::TypeOfService{}, flags, {}, payload);
+    benchmark::DoNotOptimize(out.data());
+    out.clear();  // capacity survives: the arena-warm steady state
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+
+BENCHMARK(BM_ForwardNoTelemetry);
+BENCHMARK(BM_ForwardWiredUnmarked);
+BENCHMARK(BM_ForwardMarked);
+BENCHMARK(BM_StampEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+// In-band path telemetry demo: the fabric stamps a fixed 36-byte record
+// into the VIPER trailer at every router a *marked* packet crosses, and
+// the sink's obs::PathCollector turns those records back into per-hop
+// journeys — no control-plane polling, the path reports on itself.
+//
+//   client --- r1 --- r2 --- r3 --- server
+//                            (r3 -> server link has a small MTU)
+//
+// Phase 1: 32 sends with 1-in-4 sampling — 8 packets carry telemetry and
+// the collector reconstructs each journey: which routers, in what order,
+// how long each held the packet, and how much of the end-to-end latency
+// the stamps account for (the residual is wire + host time).
+//
+// Phase 2: one oversized forced-mark send.  The r3->server MTU cut
+// slices the trailer mid-record, so the arrival no longer parses — but
+// the surviving stamps act as postcards: the collector recovers the last
+// whole record and localizes the damage to "after r2".
+//
+// Run: ./int_path_report    (self-checking; exits nonzero on mismatch)
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "directory/fabric.hpp"
+#include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
+#include "stats/registry.hpp"
+#include "viper/host.hpp"
+
+int main() {
+  using namespace srp;
+
+  sim::Simulator sim;
+  dir::Fabric fabric(sim);
+
+  auto& client = fabric.add_host("client.example");
+  auto& server = fabric.add_host("server.example");
+  auto& r1 = fabric.add_router("r1");
+  auto& r2 = fabric.add_router("r2");
+  auto& r3 = fabric.add_router("r3");
+  fabric.connect(client, r1);
+  fabric.connect(r1, r2);
+  fabric.connect(r2, r3);
+  dir::LinkParams last;
+  last.mtu = 1100;  // phase 2's oversized packet is cut on this link
+  fabric.connect(r3, server, last);
+  server.set_default_handler([](const viper::Delivery&) {});
+
+  stats::Registry registry;
+  obs::FlightRecorder recorder;
+  fabric.enable_observability({&registry, &recorder});
+
+  dir::PathTelemetryConfig config;
+  config.sample_period = 4;  // mark 1-in-4 sends at the origin
+  auto& collector = fabric.enable_path_telemetry(config);
+
+  const auto routes =
+      fabric.directory().query(fabric.id_of(client), "server.example", {});
+  if (routes.empty()) {
+    std::puts("error: no route to server.example");
+    return 1;
+  }
+
+  // --- phase 1: sampled traffic -------------------------------------------
+  constexpr int kPackets = 32;
+  const wire::Bytes payload(600, 0xAB);
+  for (int i = 0; i < kPackets; ++i) {
+    sim.after(i * 50 * sim::kMicrosecond,
+              [&] { client.send(routes.front().route, payload); });
+  }
+  sim.run();
+
+  const auto& totals = collector.totals();
+  std::printf("phase 1: %d sends, 1-in-%u sampled -> %llu journeys "
+              "reconstructed (%llu hop stamps)\n",
+              kPackets, config.sample_period,
+              static_cast<unsigned long long>(totals.packets),
+              static_cast<unsigned long long>(totals.hops_stamped));
+
+  // Per-router residence time, straight from the in-band records.
+  std::map<std::uint32_t, std::string> names = {
+      {fabric.id_of(r1), "r1"}, {fabric.id_of(r2), "r2"},
+      {fabric.id_of(r3), "r3"}};
+  struct Residence {
+    std::uint64_t n = 0;
+    double total_us = 0.0;
+  };
+  std::map<std::uint32_t, Residence> residence;
+  sim::Time stamped_total = 0;
+  sim::Time e2e_total = 0;
+  for (const auto& record : collector.records()) {
+    for (const auto& hop : record.hops) {
+      auto& r = residence[hop.router_id];
+      ++r.n;
+      r.total_us +=
+          static_cast<double>(hop.depart_ps - hop.arrival_ps) / 1e6;
+    }
+    stamped_total += record.stamped_latency();
+    e2e_total += record.delivered_at - record.sent_at;
+  }
+  std::puts("per-router residence (arrival -> departure, from stamps):");
+  for (const auto& [id, r] : residence) {
+    const auto it = names.find(id);
+    std::printf("  %-3s n=%-3llu mean=%7.2f us\n",
+                it == names.end() ? "?" : it->second.c_str(),
+                static_cast<unsigned long long>(r.n),
+                r.total_us / static_cast<double>(r.n));
+  }
+  std::printf("latency attribution: routers account for %.2f us of "
+              "%.2f us e2e (residual %.2f us = wire + hosts)\n",
+              static_cast<double>(stamped_total) / 1e6,
+              static_cast<double>(e2e_total) / 1e6,
+              static_cast<double>(e2e_total - stamped_total) / 1e6);
+
+  // --- phase 2: drop localization -----------------------------------------
+  const wire::Bytes big(1000, 0xCD);
+  viper::SendOptions forced;
+  forced.telemetry = true;  // marked regardless of the sampler
+  client.send(routes.front().route, big, forced);
+  sim.run();
+
+  std::uint64_t localized_after_r2 = 0;
+  for (const auto& [router, count] : collector.drops_after_router()) {
+    const auto it = names.find(router);
+    std::printf("phase 2: %llu damaged arrival(s) last stamped at %s — "
+                "packet was hurt downstream of it\n",
+                static_cast<unsigned long long>(count),
+                it == names.end() ? "?" : it->second.c_str());
+    if (router == fabric.id_of(r2)) localized_after_r2 = count;
+  }
+
+  // --- self-check so CI can run this as a smoke test ----------------------
+  const int expected_marked = kPackets / static_cast<int>(config.sample_period);
+  int int_spans = 0;
+  for (const auto& span : recorder.spans()) {
+    if (span.kind == obs::SpanKind::kIntHop) ++int_spans;
+  }
+  const auto counters = registry.full_snapshot().counters;
+  const auto stamped_it = counters.find("int.path.hops_stamped");
+  bool ok = true;
+  if (totals.packets != static_cast<std::uint64_t>(expected_marked)) {
+    std::printf("error: expected %d reconstructed journeys, got %llu\n",
+                expected_marked,
+                static_cast<unsigned long long>(totals.packets));
+    ok = false;
+  }
+  if (totals.hops_stamped != static_cast<std::uint64_t>(3 * expected_marked)) {
+    std::puts("error: expected 3 stamps per marked packet");
+    ok = false;
+  }
+  if (int_spans != 3 * expected_marked) {
+    std::printf("error: expected %d kIntHop spans, got %d\n",
+                3 * expected_marked, int_spans);
+    ok = false;
+  }
+  if (stamped_it == counters.end() ||
+      stamped_it->second != totals.hops_stamped) {
+    std::puts("error: int.path.hops_stamped counter disagrees");
+    ok = false;
+  }
+  if (totals.drops_localized != 1 || localized_after_r2 != 1) {
+    std::puts("error: the truncated packet was not localized to r2");
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("ok: %llu journeys + 1 drop localized after r2 "
+              "(%d kIntHop spans)\n",
+              static_cast<unsigned long long>(totals.packets), int_spans);
+  return 0;
+}

@@ -2,20 +2,24 @@
 """Collect the repo's microbenchmark results into one JSON document.
 
 Runs the google-benchmark binaries (bench_obs_overhead,
-bench_fault_overhead, bench_flow_overhead) with --benchmark_format=json
-and folds every benchmark into a flat {name: ns_per_op} map using
-cpu_time; then runs bench_parallel_validation (a stats::Table text
-report) and converts each configuration's tokens/s into ns per token
-(1e9 / tokens_per_s) under parallel_validation.<workers>; then runs
-bench_scalability and records its BATCH_GATE line (the batched data
-plane's engine cost and speedup) under scalability.*.
+bench_fault_overhead, bench_flow_overhead, bench_int_overhead) with
+--benchmark_format=json and folds every benchmark into a flat
+{name: ns_per_op} map using cpu_time; then runs
+bench_parallel_validation (a stats::Table text report) and converts each
+configuration's tokens/s into ns per token (1e9 / tokens_per_s) under
+parallel_validation.<workers>; then runs bench_scalability and records
+its BATCH_GATE line (the batched data plane's engine cost and speedup)
+under scalability.*; then runs bench_header_overhead and records its
+INT_BYTES line (trailer bytes per hop with path telemetry off/on) under
+header.int_*.
 
-The output (default BENCH_PR8.json) is what CI uploads as the per-build
+The output (default BENCH_PR9.json) is what CI uploads as the per-build
 performance artifact, so the schema is deliberately trivial: one flat
 object, names stable across runs, values in nanoseconds (except the
-dimensionless scalability.batch_speedup).
+dimensionless scalability.batch_speedup and the byte-valued
+header.int_* entries).
 
-Usage: bench_to_json.py --bindir build/bench [--out BENCH_PR8.json]
+Usage: bench_to_json.py --bindir build/bench [--out BENCH_PR9.json]
 """
 
 import argparse
@@ -28,6 +32,7 @@ GBENCH_BINARIES = [
     "bench_obs_overhead",
     "bench_fault_overhead",
     "bench_flow_overhead",
+    "bench_int_overhead",
 ]
 
 # | serial (inline) | 767300   | 1.00 | 3072 |
@@ -38,6 +43,10 @@ TABLE_ROW = re.compile(
 BATCH_GATE = re.compile(
     r"BATCH_GATE\s+per_packet_ns=([\d.]+)\s+batched_ns=([\d.]+)\s+"
     r"speedup=([\d.]+)")
+
+# INT_BYTES per_hop_off=4 per_hop_on=40 record=36
+INT_BYTES = re.compile(
+    r"INT_BYTES\s+per_hop_off=(\d+)\s+per_hop_on=(\d+)\s+record=(\d+)")
 
 
 def run_gbench(bindir, name, results):
@@ -84,11 +93,24 @@ def run_scalability(bindir, results):
     results["scalability.batch_speedup"] = speedup
 
 
+def run_header_overhead(bindir, results):
+    out = subprocess.run(
+        [f"{bindir}/bench_header_overhead"],
+        capture_output=True, text=True, check=True).stdout
+    match = INT_BYTES.search(out)
+    if match is None:
+        sys.exit("error: no INT_BYTES line in bench_header_overhead output")
+    off, on, record = (int(g) for g in match.groups())
+    results["header.int_bytes_per_hop_off"] = off
+    results["header.int_bytes_per_hop_on"] = on
+    results["header.int_record_bytes"] = record
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bindir", default="build/bench",
                         help="directory holding the bench binaries")
-    parser.add_argument("--out", default="BENCH_PR8.json",
+    parser.add_argument("--out", default="BENCH_PR9.json",
                         help="output JSON path")
     args = parser.parse_args()
 
@@ -97,6 +119,7 @@ def main():
         run_gbench(args.bindir, name, results)
     run_parallel_validation(args.bindir, results)
     run_scalability(args.bindir, results)
+    run_header_overhead(args.bindir, results)
 
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Gate on the path-telemetry layer's disabled-path cost contract.
+
+Reads bench_int_overhead JSON output (--benchmark_format=json) and fails
+if the wired-but-unmarked forward path drifts beyond the pinned bound
+relative to the no-telemetry baseline:
+
+  wired_unmarked / no_telemetry  <= BOUND   (default 1.25)
+
+The stamp is gated on one bool && one side-band bit, so the only per-hop
+cost an unmarked fabric may pay is that untaken branch (plus one sampler
+draw per send at the origin).  The bound is deliberately loose — CI
+machines are noisy — but it still catches the failure mode the contract
+forbids: per-packet work (allocation, encoding, collector calls)
+appearing on the disabled path.
+
+Usage: check_int_overhead.py results.json [--bound 1.25]
+"""
+
+import argparse
+import json
+import sys
+
+BASELINE = "BM_ForwardNoTelemetry"
+DISABLED = "BM_ForwardWiredUnmarked"
+
+
+def cpu_time(benchmarks, name):
+    for bench in benchmarks:
+        if bench["name"] == name:
+            return float(bench["cpu_time"])
+    sys.exit(f"error: benchmark {name!r} missing from results")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="bench_int_overhead JSON output")
+    parser.add_argument("--bound", type=float, default=1.25,
+                        help="max disabled-path / baseline ratio")
+    args = parser.parse_args()
+
+    with open(args.results, encoding="utf-8") as handle:
+        benchmarks = json.load(handle)["benchmarks"]
+
+    base = cpu_time(benchmarks, BASELINE)
+    disabled = cpu_time(benchmarks, DISABLED)
+    ratio = disabled / base
+    print(f"{BASELINE}: {base:.1f} ns")
+    print(f"{DISABLED}: {disabled:.1f} ns")
+    print(f"ratio: {ratio:.3f} (bound {args.bound})")
+    if ratio > args.bound:
+        sys.exit("FAIL: disabled-path telemetry overhead exceeds bound")
+    print("OK: disabled-path overhead within bound")
+
+
+if __name__ == "__main__":
+    main()

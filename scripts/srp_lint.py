@@ -615,6 +615,22 @@ def lock_cycles(edges: Dict[Tuple[str, str], Tuple[str, int]]
 METRIC_CALL_RE = re.compile(r"(?:\.|->)\s*(counter|gauge|histogram)\s*\(")
 SEGMENT_RE = re.compile(r"[A-Za-z0-9_-]+")
 
+# The component namespaces the tree exports (first metric-name segment).
+# A registration under a component not listed here is either a typo or a
+# new subsystem that must be added deliberately — extend this set (and
+# the exporters' docs) in the same change that introduces the component.
+KNOWN_COMPONENTS = frozenset((
+    "cc",      # congestion control
+    "fault",   # fault-injection engine
+    "flow",    # flow accounting plane
+    "host",    # end-host module
+    "int",     # in-band path telemetry (obs::PathCollector)
+    "port",    # per-port transmit stats
+    "tokens",  # token cache / authority
+    "viper",   # per-router forward path
+    "vmtp",    # transport
+))
+
 
 def candidate_names(src: SourceFile, arg_start: int, arg_end: int) -> List[str]:
     """Expand the argument expression into candidate metric names.
@@ -701,6 +717,18 @@ def pass_metric_names(sources: Sequence[SourceFile]) -> List[Finding]:
                         f"metric name `{shown}` violates the "
                         "component.instance.metric contract (2..5 segments "
                         "of [A-Za-z0-9_-])"))
+                    continue
+                component = name.split(".", 1)[0]
+                # A component carrying the runtime placeholder cannot be
+                # judged statically; only literal components are checked.
+                if "P" in component or component in KNOWN_COMPONENTS:
+                    continue
+                findings.append(Finding(
+                    "metric-names", src.path, src.line_of(m.start()),
+                    f"metric component `{component}` is not a known "
+                    "namespace — add it to KNOWN_COMPONENTS in "
+                    "scripts/srp_lint.py if this is a deliberate new "
+                    "subsystem"))
     return findings
 
 
@@ -929,6 +957,7 @@ def self_test() -> int:
         ("hotpath-alloc", "hotpath_alloc_bad.cpp", 2),
         ("lock-order", "lock_cycle_bad.cpp", 1),
         ("metric-names", "metric_name_bad.cpp", 2),
+        ("metric-names", "metric_namespace_bad.cpp", 1),
         ("state-switch-default", "state_switch_default_bad.cpp", 2),
     ]
     failures = 0

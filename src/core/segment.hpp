@@ -25,6 +25,14 @@ inline constexpr std::uint8_t kLocalPort = 0;
 /// 48 header segments (expected to be under 500 bytes long)").
 inline constexpr std::size_t kMaxSegments = 48;
 
+/// Port value identifying an in-band telemetry record on the trailer
+/// (0x54, 'T').  Like the truncation mark, a telemetry record is "not a
+/// legal Sirpent header segment": it carries the TRM flag so no router
+/// ever routes by it, but unlike the mark it keeps VNT clear so its
+/// portInfo — the fixed-size obs::HopTelemetry payload — survives decode.
+/// The port value only disambiguates the two record kinds at the sink.
+inline constexpr std::uint8_t kTelemetryPort = 0x54;
+
 /// Segment flags (VIPER Flags nibble).  VNT, DIB and RPF are the paper's;
 /// TRM is this implementation's concrete encoding of the paper's
 /// truncation mark: "a special segment on the trailer (which is not a legal
@@ -64,6 +72,14 @@ struct HeaderSegment {
     s.flags.trm = true;
     s.flags.vnt = true;
     return s;
+  }
+
+  /// True when this trailer segment is an in-band telemetry record: TRM
+  /// set (never routable), VNT clear (portInfo carries the payload), and
+  /// the reserved telemetry port.  Distinct from truncation_marker(),
+  /// which sets VNT and uses port 0.
+  [[nodiscard]] bool is_telemetry_record() const {
+    return flags.trm && !flags.vnt && port == kTelemetryPort;
   }
 };
 

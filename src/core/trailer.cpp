@@ -65,7 +65,11 @@ void reverse_records_in_place(std::span<std::uint8_t> buf,
 TrailerInfo classify_trailer(std::vector<HeaderSegment> raw_entries) {
   TrailerInfo info;
   for (auto& seg : raw_entries) {
-    if (seg.flags.trm) {
+    if (seg.is_telemetry_record()) {
+      // A telemetry record shares the TRM bit (it must never be routable)
+      // but does NOT mean the packet was truncated.
+      info.telemetry.push_back(std::move(seg));
+    } else if (seg.flags.trm) {
       info.truncated = true;
     } else {
       info.entries.push_back(std::move(seg));

@@ -28,6 +28,12 @@ namespace srp::core {
 struct TrailerInfo {
   std::vector<HeaderSegment> entries;  ///< in append (forward-path) order
   bool truncated = false;              ///< a truncation marker was present
+  /// In-band telemetry records (HeaderSegment::is_telemetry_record), in
+  /// the order they appeared.  Each record's port_info is one router's
+  /// obs::HopTelemetry payload; the hop number inside the payload — not
+  /// the position here — orders the path, so this list is valid whether
+  /// the trailer was decoded forward or reversed in place.
+  std::vector<HeaderSegment> telemetry;
 };
 
 /// Builds the return route from the trailer entries of a delivered packet.

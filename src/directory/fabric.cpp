@@ -187,6 +187,19 @@ void Fabric::enable_batching(viper::ViperRouter::BatchConfig config) {
   for (viper::ViperHost* host : hosts_) host->set_batching(true);
 }
 
+obs::PathCollector& Fabric::enable_path_telemetry(PathTelemetryConfig config) {
+  collector_ = std::make_unique<obs::PathCollector>(
+      observer_.registry, observer_.recorder, config.collector);
+  for (viper::ViperRouter* router : routers_) {
+    router->set_path_telemetry(true);
+  }
+  for (viper::ViperHost* host : hosts_) {
+    host->set_path_telemetry(collector_.get(), config.seed,
+                             config.sample_period);
+  }
+  return *collector_;
+}
+
 std::uint32_t Fabric::id_of(const net::Node& node) const {
   const auto it = ids_.find(&node);
   if (it == ids_.end()) {

@@ -37,6 +37,13 @@ struct LinkParams {
   std::uint8_t security = 0;
 };
 
+/// In-band path telemetry knobs (Fabric::enable_path_telemetry).
+struct PathTelemetryConfig {
+  std::uint64_t seed = 0x1A7;       ///< marker phase seed
+  std::uint32_t sample_period = 1;  ///< mark 1-in-N sends (1 = all)
+  obs::PathCollectorConfig collector;
+};
+
 class Fabric {
  public:
   explicit Fabric(sim::Simulator& sim);
@@ -89,6 +96,19 @@ class Fabric {
   /// forward path and every host to the in-place trailer reversal pass.
   /// Like enable_observability, not retroactive for later components.
   void enable_batching(viper::ViperRouter::BatchConfig config = {});
+
+  /// Turns on in-band path telemetry: every router built so far stamps
+  /// obs::HopTelemetry records onto telemetry-marked packets, every host
+  /// marks 1-in-`sample_period` sends and feeds marked deliveries into a
+  /// fabric-owned obs::PathCollector wired to the current observer()
+  /// sinks (call enable_observability first for metrics/spans).  Like
+  /// enable_observability, not retroactive for later components.
+  obs::PathCollector& enable_path_telemetry(PathTelemetryConfig config = {});
+
+  /// The collector built by enable_path_telemetry(); null before it.
+  [[nodiscard]] obs::PathCollector* path_collector() {
+    return collector_.get();
+  }
 
   // --- failure injection (simulation + directory advisories together) ---
   void fail_link(net::PortedNode& a, net::PortedNode& b);
@@ -167,6 +187,7 @@ class Fabric {
   std::map<const viper::ViperHost*, std::unique_ptr<RouteCache>> caches_;
   std::uint16_t next_mac_index_ = 1;
   obs::Observer observer_;  ///< last enable_observability() argument
+  std::unique_ptr<obs::PathCollector> collector_;  ///< enable_path_telemetry
 };
 
 }  // namespace srp::dir

@@ -36,6 +36,7 @@ net::PacketPtr clone_packet(const net::Packet& packet) {
   copy->recirculations = packet.recirculations;
   copy->trace_id = packet.trace_id;
   copy->route_digest = packet.route_digest;
+  copy->telemetry = packet.telemetry;
   copy->parent = packet.parent;
   return copy;
 }

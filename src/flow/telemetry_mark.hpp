@@ -1,0 +1,46 @@
+// Origin-host telemetry marking discipline.
+//
+// Path telemetry costs trailer bytes at every hop, so (like flow
+// sampling) it is applied to 1-in-N packets, not all of them.  The
+// marker wraps the same deterministic count-down Sampler the flow
+// accounting plane uses, under its own component namespace
+// ("int.<host>"), so telemetry marking and flow sampling draw from
+// well-separated streams of the one fabric seed and a rerun marks the
+// byte-identical packet sequence.
+//
+// A caller may also force a mark (viper::SendOptions::telemetry); the
+// sampler is still advanced on forced sends so the marked-packet
+// sequence of everything *after* the forced send is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "flow/sampler.hpp"
+
+namespace srp::flow {
+
+class TelemetryMarker {
+ public:
+  /// Marks 1 in @p period sends (0 = never, 1 = every send) from the
+  /// host named @p host, phase-seeded exactly like every other sampled
+  /// discipline in the tree.
+  TelemetryMarker(std::uint64_t seed, std::string_view host,
+                  std::uint32_t period)
+      : sampler_(seed, "int." + std::string(host), period) {}
+
+  /// Decides whether this send is telemetry-marked.  The sampler always
+  /// advances — a forced mark must not phase-shift later samples.
+  bool mark(bool forced = false) {
+    const bool sampled = sampler_.sample();
+    return forced || sampled;
+  }
+
+  [[nodiscard]] std::uint32_t period() const { return sampler_.period(); }
+
+ private:
+  Sampler sampler_;
+};
+
+}  // namespace srp::flow

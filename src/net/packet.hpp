@@ -44,6 +44,10 @@ struct Packet : std::enable_shared_from_this<Packet> {
                                    ///  is on; constant along the whole path
                                    ///  (0 = unattributed, e.g. tunnel
                                    ///  ingress)
+  bool telemetry = false;  ///< in-band path telemetry requested: routers on
+                           ///  the path append an obs::HopTelemetry record
+                           ///  to the trailer (models an INT mark bit in a
+                           ///  network-layer header field)
 
   /// Upstream image this packet was derived from.  With cut-through a
   /// router forwards the head of a packet whose tail is still in flight
@@ -75,6 +79,7 @@ struct Packet : std::enable_shared_from_this<Packet> {
     p->hops = hops + 1;
     p->trace_id = trace_id;
     p->route_digest = route_digest;
+    p->telemetry = telemetry;
     p->parent = shared_from_this();
     return p;
   }

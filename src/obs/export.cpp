@@ -62,6 +62,7 @@ std::string_view span_category(SpanKind kind) {
     case SpanKind::kDeliver: return "host";
     case SpanKind::kTxn: return "vmtp";
     case SpanKind::kSample: return "flow";
+    case SpanKind::kIntHop: return "int";
   }
   return "?";
 }

@@ -15,6 +15,7 @@ std::string_view to_string(SpanKind kind) {
     case SpanKind::kDeliver: return "deliver";
     case SpanKind::kTxn: return "txn";
     case SpanKind::kSample: return "sample";
+    case SpanKind::kIntHop: return "int_hop";
   }
   return "?";
 }

@@ -39,6 +39,8 @@ enum class SpanKind : std::uint8_t {
   kDeliver,   // end-to-end delivery at the destination host
   kTxn,       // one VMTP request/response transaction
   kSample,    // flow sampler captured this packet (instant, with excerpt)
+  kIntHop,    // in-band telemetry hop, reconstructed at the sink from the
+              // packet's trailer (obs::PathCollector)
 };
 
 /// How the router's token admission resolved for this hop.

@@ -1,5 +1,7 @@
 #include "viper/host.hpp"
 
+#include <algorithm>
+
 #include "check/analysis.hpp"
 #include "check/contract.hpp"
 
@@ -38,6 +40,13 @@ void ViperHost::set_default_handler(Handler handler) {
   default_handler_ = std::move(handler);
 }
 
+void ViperHost::set_path_telemetry(obs::PathCollector* collector,
+                                   std::uint64_t seed,
+                                   std::uint32_t sample_period) {
+  collector_ = collector;
+  marker_.emplace(seed, name(), sample_period);
+}
+
 void ViperHost::set_observer(const obs::Observer& observer) {
   if (observer.registry != nullptr) {
     obs_e2e_latency_ = &observer.registry->histogram(
@@ -70,6 +79,11 @@ std::uint64_t ViperHost::send(const core::SourceRoute& route,
   // only place that still sees the full source route); it rides the
   // packet's measurement side-band, constant along the path.
   if (stamp_route_digest_) packet->route_digest = route_digest(route);
+  // Telemetry mark: sampled by the marker when wired (always advanced, so
+  // a forced mark never phase-shifts later samples), else forced-only.
+  packet->telemetry = marker_.has_value() ? marker_->mark(options.telemetry)
+                                          : options.telemetry;
+  if (packet->telemetry) ++stats_.telemetry_marked;
   ++stats_.sent;
   core::TypeOfService tos = options.tos;
   port(options.out_port)
@@ -141,6 +155,11 @@ void ViperHost::process(const net::Arrival& arrival) {
     if (!reversed_in_place) body = decode_delivered_body(r);
   } catch (const wire::CodecError&) {
     ++stats_.dropped_malformed;
+    // A marked packet too damaged to parse still carries its postcard:
+    // the last telemetry record names where it was last intact.
+    if (packet.telemetry && collector_ != nullptr) {
+      collector_->on_malformed_arrival(packet.bytes);
+    }
     return;
   }
 
@@ -160,6 +179,25 @@ void ViperHost::process(const net::Arrival& arrival) {
   core::TrailerInfo trailer = core::classify_trailer(std::move(body.trailer));
   Delivery delivery;
   delivery.data = std::move(body.data);
+  std::size_t telemetry_decode_errors = 0;
+  if (!trailer.telemetry.empty()) {
+    // Decode the in-band records.  Hop order — not trailer position —
+    // orders the path, so the reference (forward-order) and in-place
+    // reversed (newest-first) decodes reconstruct identically.
+    delivery.path.reserve(trailer.telemetry.size());
+    for (const core::HeaderSegment& rec : trailer.telemetry) {
+      const auto hop = obs::decode_hop_telemetry(rec.port_info);
+      if (hop.has_value()) {
+        delivery.path.push_back(*hop);
+      } else {
+        ++telemetry_decode_errors;
+      }
+    }
+    std::sort(delivery.path.begin(), delivery.path.end(),
+              [](const obs::HopTelemetry& a, const obs::HopTelemetry& b) {
+                return a.hop < b.hop;
+              });
+  }
   if (reversed_in_place) {
     // Entries are already in return order: append the local segment and
     // set RPF directly instead of re-reversing through build_return_route.
@@ -207,6 +245,15 @@ void ViperHost::process(const net::Arrival& arrival) {
     span.end = delivery.delivered_at;
     span.set_component(name());
     obs_recorder_->record(span);
+  }
+  if (packet.telemetry && collector_ != nullptr) {
+    obs::DeliveredTelemetry meta;
+    meta.trace_id = packet.trace_id;
+    meta.packet_id = packet.id;
+    meta.sent_at = delivery.sent_at;
+    meta.delivered_at = delivery.delivered_at;
+    meta.truncated = delivery.truncated;
+    collector_->on_delivery(meta, delivery.path, telemetry_decode_errors);
   }
 
   if (endpoint.has_value()) {

@@ -10,8 +10,10 @@
 
 #include "core/segment.hpp"
 #include "core/trailer.hpp"
+#include "flow/telemetry_mark.hpp"
 #include "net/ethernet.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "viper/codec.hpp"
 #include "viper/router.hpp"
 
@@ -32,6 +34,10 @@ struct Delivery {
   sim::Time sent_at = 0;
   sim::Time delivered_at = 0;
   int in_port = 0;
+  /// In-band telemetry records carried by a telemetry-marked packet, in
+  /// ascending hop order (empty when the packet was not marked or path
+  /// telemetry is off).
+  std::vector<obs::HopTelemetry> path;
 };
 
 /// Options for ViperHost::send.
@@ -42,6 +48,9 @@ struct SendOptions {
   /// Link header for the first hop when the out port is on a LAN; the
   /// paper's "initial header segment is implicit from the network type".
   std::optional<net::EthernetHeader> link;
+  /// Force an in-band telemetry mark on this packet regardless of the
+  /// host's sampling discipline (flow::TelemetryMarker).
+  bool telemetry = false;
 };
 
 class ViperHost : public net::PortedNode {
@@ -58,6 +67,7 @@ class ViperHost : public net::PortedNode {
     std::uint64_t unknown_endpoint = 0;
     std::uint64_t dropped_malformed = 0;
     std::uint64_t control_received = 0;
+    std::uint64_t telemetry_marked = 0;  ///< sends carrying the INT mark
   };
 
   ViperHost(sim::Simulator& sim, std::string name,
@@ -111,6 +121,15 @@ class ViperHost : public net::PortedNode {
   /// histogram of send-to-delivery times.  Also wires this host's ports.
   void set_observer(const obs::Observer& observer);
 
+  /// Wires in-band path telemetry: sends are marked 1-in-@p sample_period
+  /// (flow::TelemetryMarker seeded from @p seed and this host's name; a
+  /// SendOptions::telemetry send is always marked), and marked deliveries —
+  /// including arrivals too damaged to parse — feed @p collector.  Either
+  /// half may be off: a null collector still marks (a remote sink
+  /// collects), period 0 still collects (only forced marks occur).
+  void set_path_telemetry(obs::PathCollector* collector, std::uint64_t seed,
+                          std::uint32_t sample_period);
+
   void on_arrival(const net::Arrival& arrival) override;
 
  private:
@@ -137,6 +156,10 @@ class ViperHost : public net::PortedNode {
   /// Flow accounting wired: send() stamps Packet::route_digest so routers
   /// along the path can attribute the packet to its source route.
   bool stamp_route_digest_ = false;
+
+  // Path-telemetry wiring (set_path_telemetry); both null/empty = off.
+  obs::PathCollector* collector_ = nullptr;
+  std::optional<flow::TelemetryMarker> marker_;
 
   // Batched-plane delivery state (set_batching).
   bool batched_ = false;

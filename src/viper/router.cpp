@@ -6,6 +6,7 @@
 
 #include "check/analysis.hpp"
 #include "check/contract.hpp"
+#include "obs/telemetry.hpp"
 
 namespace srp::viper {
 namespace {
@@ -376,6 +377,16 @@ SRP_HOT_PATH void ViperRouter::forward_fast(const net::Arrival& arrival,
                        {});
   }
 
+  const ForwardTiming timing =
+      forward_timing(arrival, v.wire_size, physical_port);
+  if (telemetry_enabled_ && arrival.packet->telemetry) {
+    // Same stamp, same placement as forward(): after the return entry,
+    // before the MTU cut — so the cut may slice through the newest record
+    // on either path, byte-identically.
+    stamp_telemetry(out_bytes, arrival, physical_port, &out, timing,
+                    decision->outcome);
+  }
+
   bool truncated = false;
   if (out_bytes.size() > out.config().mtu_bytes) {
     // Same cut as forward(): resize to MTU minus the 4-byte truncation
@@ -402,9 +413,8 @@ SRP_HOT_PATH void ViperRouter::forward_fast(const net::Arrival& arrival,
   derived->truncated = truncated;
   derived->last_in_port = arrival.in_port;
   derived->feedforward = src.feedforward;
+  derived->telemetry = src.telemetry;
 
-  const ForwardTiming timing =
-      forward_timing(arrival, v.wire_size, physical_port);
   const net::TxMeta meta = meta_for(v.tos);
 
   ++stats_.forwarded;
@@ -757,6 +767,51 @@ ViperRouter::admit_token_ref(const TokenRef& ref, int physical_port,
   return std::nullopt;
 }
 
+SRP_HOT_PATH void ViperRouter::stamp_telemetry(
+    wire::Bytes& out_bytes, const net::Arrival& arrival, int out_port,
+    const net::TxPort* out, const ForwardTiming& timing,
+    obs::TokenOutcome outcome) {
+  const net::Packet& src = *arrival.packet;
+  if (src.hops >= obs::kMaxTelemetryHops) {
+    // The record would outgrow any legal route; skip, but count the skip
+    // so the sink can see its hop profile is a prefix.
+    ++stats_.telemetry_overflow;
+    return;
+  }
+  obs::HopTelemetry t;
+  t.router_id = config_.router_id;
+  t.hop = static_cast<std::uint8_t>(src.hops);
+  t.egress_port = static_cast<std::uint8_t>(out_port);
+  t.token = outcome;
+  t.cut_through = timing.cut_through;
+  t.in_port = static_cast<std::uint16_t>(arrival.in_port);
+  t.arrival_ps = static_cast<std::uint64_t>(arrival.head);
+  t.depart_ps = static_cast<std::uint64_t>(timing.earliest);
+  if (out != nullptr) {
+    t.egress_down = !out->is_up();
+    t.queue_depth = static_cast<std::uint16_t>(
+        std::min<std::size_t>(out->queue_packets(), 0xFFFF));
+    const double rate = out->config().rate_bps;
+    if (rate > 0.0) {
+      // Estimated drain time of the bytes already queued ahead — the
+      // queue's contribution to this hop's latency as seen at stamp time.
+      t.queue_wait_ps = static_cast<std::uint32_t>(
+          std::min<sim::Time>(sim::byte_time(out->queue_bytes(), rate),
+                              0xFFFFFFFF));
+    }
+  }
+  // The record is a pseudo-segment: TRM so it is "not a legal Sirpent
+  // header segment" (no router routes by it), VNT clear so the payload
+  // survives decode, the reserved port naming the record kind.
+  std::array<std::uint8_t, obs::kHopTelemetryWire> payload;
+  t.encode(payload);
+  core::SegmentFlags flags;
+  flags.trm = true;
+  append_segment_raw(out_bytes, core::kTelemetryPort, core::TypeOfService{},
+                     flags, {}, payload);
+  ++stats_.telemetry_stamped;
+}
+
 SRP_HOT_PATH ViperRouter::ForwardTiming ViperRouter::forward_timing(
     const net::Arrival& arrival, std::size_t consumed, int out_port) const {
   // Cut-through preconditions (§2.1): output may start only after the
@@ -833,6 +888,16 @@ SRP_HOT_PATH void ViperRouter::forward(const net::Arrival& arrival,
   encode_segment(w, make_return_entry(arrival, front, decision->reversible));
   wire::Bytes out_bytes = std::move(w).take();
 
+  // forward_timing is pure; computed here so the telemetry stamp can
+  // carry the hop's departure time before the MTU cut decides its fate.
+  const ForwardTiming timing =
+      forward_timing(arrival, front.consumed, physical_port);
+  if (telemetry_enabled_ && arrival.packet->telemetry) {
+    stamp_telemetry(out_bytes, arrival, physical_port, &out, timing,
+                    was_blocked ? obs::TokenOutcome::kMissBlocking
+                                : decision->outcome);
+  }
+
   bool truncated = false;
   if (out_bytes.size() > out.config().mtu_bytes) {
     // Cut-through discovers oversize mid-transmission; the packet is cut
@@ -860,8 +925,6 @@ SRP_HOT_PATH void ViperRouter::forward(const net::Arrival& arrival,
   // read by this router's congested-port monitor (paper §2.2).
   derived->feedforward = arrival.packet->feedforward;
 
-  const ForwardTiming timing =
-      forward_timing(arrival, front.consumed, physical_port);
   const net::TxMeta meta = meta_for(front.segment.tos);
 
   ++stats_.forwarded;
@@ -908,6 +971,16 @@ void ViperRouter::forward_into_tunnel(const net::Arrival& arrival,
   wire::Writer w(bytes.size() + 32);
   w.bytes(std::span{bytes}.subspan(front.consumed));
   encode_segment(w, make_return_entry(arrival, front, decision->reversible));
+  wire::Bytes encap = std::move(w).take();
+  if (telemetry_enabled_ && arrival.packet->telemetry) {
+    // Tunnel egress has no TxPort to sample and is store-and-forward by
+    // construction; the record still pins the hop's identity and times.
+    ForwardTiming timing;
+    timing.decision = arrival.tail;
+    timing.earliest = std::max(arrival.tail, sim_.now());
+    stamp_telemetry(encap, arrival, front.segment.port, nullptr, timing,
+                    decision->outcome);
+  }
   ++stats_.forwarded;
   if (obs_hop_latency_ != nullptr) {
     obs_hop_latency_->record(
@@ -935,7 +1008,7 @@ void ViperRouter::forward_into_tunnel(const net::Arrival& arrival,
     span.set_component(name());
     obs_recorder_->record(span);
   }
-  transmit(front.segment.port_info, std::move(w).take(), front.segment.tos);
+  transmit(front.segment.port_info, std::move(encap), front.segment.tos);
 }
 
 void ViperRouter::emit_to_port(int out_port, net::PacketPtr packet,

@@ -110,6 +110,9 @@ class ViperRouter : public net::PortedNode {
     std::uint64_t delay_line_loops = 0;     ///< deferrals via delay lines
     std::uint64_t delay_line_overflows = 0; ///< recirculation cap exceeded
     std::uint64_t dropped_expired_token = 0;
+    std::uint64_t telemetry_stamped = 0;   ///< HopTelemetry records appended
+    std::uint64_t telemetry_overflow = 0;  ///< marked packets past the
+                                           ///  kMaxTelemetryHops stamp bound
   };
 
   /// Handler for locally addressed (port 0) packets — congestion reports
@@ -196,6 +199,16 @@ class ViperRouter : public net::PortedNode {
   /// an unobserved router pays one untaken branch per instrumentation
   /// point.  Call set_observer after the last add_port().
   void set_observer(const obs::Observer& observer);
+
+  /// Enables in-band path telemetry stamping: every forwarded packet whose
+  /// Packet::telemetry mark is set gets one obs::HopTelemetry record
+  /// appended to its trailer (after this hop's return entry, subject to the
+  /// same MTU truncation as any trailer bytes).  Off by default; a disabled
+  /// router is byte-identical to one built before telemetry existed.
+  void set_path_telemetry(bool enabled) { telemetry_enabled_ = enabled; }
+  [[nodiscard]] bool path_telemetry_enabled() const {
+    return telemetry_enabled_;
+  }
 
   void set_control_handler(ControlHandler handler) {
     control_handler_ = std::move(handler);
@@ -352,6 +365,15 @@ class ViperRouter : public net::PortedNode {
   /// Bumps the `viper.<name>.token_*` counter for @p outcome, if observed.
   void count_token_outcome(obs::TokenOutcome outcome);
 
+  /// Appends this hop's telemetry record to @p out_bytes (the rewritten
+  /// image, return entry already in place).  @p out is the egress TxPort
+  /// whose queue state the record samples — null for tunnel egress.
+  /// Identical byte effect on the reference and zero-copy paths.
+  void stamp_telemetry(wire::Bytes& out_bytes, const net::Arrival& arrival,
+                       int out_port, const net::TxPort* out,
+                       const ForwardTiming& timing,
+                       obs::TokenOutcome outcome);
+
   void forward_into_tunnel(const net::Arrival& arrival,
                            const ParsedFront& front,
                            const TunnelTransmit& transmit,
@@ -388,6 +410,7 @@ class ViperRouter : public net::PortedNode {
   ControlHandler control_handler_;
   Shaper shaper_;
   Stats stats_;
+  bool telemetry_enabled_ = false;  ///< set_path_telemetry()
 
   /// Publishes one obs::FlowSample for a forwarded packet, when a flow
   /// sink is wired.

@@ -12,12 +12,15 @@
 //    repeat or delay packets but never invents bytes from thin air.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <map>
 #include <optional>
 
 #include "core/trailer.hpp"
 #include "directory/fabric.hpp"
 #include "fault/engine.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/random.hpp"
 #include "test_util.hpp"
 #include "transport/header.hpp"
@@ -321,6 +324,126 @@ TEST_P(TrailerReversalProperty, MalformedTrailersAreLeftUntouched) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TrailerReversalProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+class TelemetryReversalProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// A random telemetry record as a router would stamp it.
+obs::HopTelemetry random_hop_telemetry(sim::Rng& rng, std::uint8_t hop) {
+  obs::HopTelemetry t;
+  t.router_id = static_cast<std::uint32_t>(rng.next_u64());
+  t.hop = hop;
+  t.egress_port = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+  t.token = static_cast<obs::TokenOutcome>(rng.uniform_int(
+      0, static_cast<std::uint64_t>(obs::TokenOutcome::kRejected)));
+  t.cut_through = rng.uniform_int(0, 1) == 1;
+  t.egress_down = rng.uniform_int(0, 1) == 1;
+  t.arrival_ps = rng.next_u64() >> 1;
+  t.depart_ps = t.arrival_ps + rng.uniform_int(0, 1'000'000);
+  t.queue_wait_ps = static_cast<std::uint32_t>(rng.next_u64());
+  t.queue_depth = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+  t.in_port = static_cast<std::uint16_t>(rng.uniform_int(1, 255));
+  return t;
+}
+
+/// Appends the wire pseudo-segment for @p t, exactly as stamp_telemetry
+/// does on the forward path.
+void append_telemetry_record(wire::Bytes& out, const obs::HopTelemetry& t) {
+  std::array<std::uint8_t, obs::kHopTelemetryWire> payload{};
+  t.encode(payload);
+  core::SegmentFlags flags;
+  flags.trm = true;
+  viper::append_segment_raw(out, core::kTelemetryPort, core::TypeOfService{},
+                            flags, {}, payload);
+}
+
+TEST_P(TelemetryReversalProperty, ReversalPreservesRecordsAndHopOrder) {
+  // A realistic mixed trailer — return entries interleaved with telemetry
+  // records — survives the batched plane's in-place reversal: every record
+  // still decodes, and sorting by hop number (what the sink host does)
+  // reconstructs the identical path from either trailer orientation.
+  sim::Rng rng(GetParam() * 0x51A3 + 9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto hops = static_cast<std::uint8_t>(rng.uniform_int(1, 12));
+    std::vector<obs::HopTelemetry> stamped;
+    wire::Bytes trailer;
+    for (std::uint8_t h = 0; h < hops; ++h) {
+      // The hop's reversed return entry, then (sometimes) its stamp — a
+      // sampled packet is stamped at every hop, but corruption-dropped
+      // records mean the sink cannot rely on that.
+      wire::Writer w;
+      viper::encode_segment(w, random_trailer_segment(rng));
+      const wire::Bytes entry = std::move(w).take();
+      trailer.insert(trailer.end(), entry.begin(), entry.end());
+      if (rng.uniform_int(0, 4) != 0) {
+        stamped.push_back(random_hop_telemetry(rng, h));
+        append_telemetry_record(trailer, stamped.back());
+      }
+    }
+
+    wire::Bytes reversed = trailer;
+    ASSERT_TRUE(viper::reverse_trailer_in_place(reversed)) << "trial "
+                                                           << trial;
+
+    // Decode both orientations and extract the telemetry records the way
+    // the host does (classify, then decode each payload, then hop-sort).
+    const auto extract = [](const wire::Bytes& bytes) {
+      wire::Reader r(bytes);
+      core::TrailerInfo info =
+          core::classify_trailer(viper::decode_segments(r));
+      std::vector<obs::HopTelemetry> path;
+      for (const core::HeaderSegment& rec : info.telemetry) {
+        const auto hop = obs::decode_hop_telemetry(rec.port_info);
+        EXPECT_TRUE(hop.has_value());
+        if (hop.has_value()) path.push_back(*hop);
+      }
+      std::sort(path.begin(), path.end(),
+                [](const obs::HopTelemetry& a, const obs::HopTelemetry& b) {
+                  return a.hop < b.hop;
+                });
+      return path;
+    };
+    const auto forward_path = extract(trailer);
+    const auto reversed_path = extract(reversed);
+    ASSERT_EQ(forward_path.size(), stamped.size()) << "trial " << trial;
+    EXPECT_EQ(forward_path, stamped) << "trial " << trial;
+    EXPECT_EQ(reversed_path, stamped) << "trial " << trial;
+
+    // Involution, with records present: a second reversal restores the
+    // original bytes.
+    ASSERT_TRUE(viper::reverse_trailer_in_place(reversed));
+    EXPECT_EQ(reversed, trailer) << "trial " << trial;
+  }
+}
+
+TEST_P(TelemetryReversalProperty, SlicedRecordLeavesTrailerUntouched) {
+  // An MTU cut through the newest record makes the trailer unparseable as
+  // whole segments; the in-place pass must refuse and leave every byte
+  // alone (the host then falls back to the reference path byte-identically).
+  sim::Rng rng(GetParam() * 0x77F + 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    wire::Bytes trailer;
+    const auto hops = static_cast<std::uint8_t>(rng.uniform_int(1, 6));
+    for (std::uint8_t h = 0; h < hops; ++h) {
+      wire::Writer w;
+      viper::encode_segment(w, random_trailer_segment(rng));
+      const wire::Bytes entry = std::move(w).take();
+      trailer.insert(trailer.end(), entry.begin(), entry.end());
+      append_telemetry_record(trailer, random_hop_telemetry(rng, h));
+    }
+    // Slice 1..35 bytes off the final record: partial payload or partial
+    // prefix, never a whole-segment boundary.
+    trailer.resize(trailer.size() -
+                   static_cast<std::size_t>(rng.uniform_int(1, 35)));
+    const wire::Bytes before = trailer;
+    EXPECT_FALSE(viper::reverse_trailer_in_place(trailer)) << "trial "
+                                                           << trial;
+    EXPECT_EQ(trailer, before) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TelemetryReversalProperty,
                          ::testing::Range<std::uint64_t>(0, 8));
 
 class FaultCompositionProperty
