@@ -2,7 +2,8 @@
 """Collect the repo's microbenchmark results into one JSON document.
 
 Runs the google-benchmark binaries (bench_obs_overhead,
-bench_fault_overhead, bench_flow_overhead, bench_int_overhead) with
+bench_fault_overhead, bench_flow_overhead, bench_int_overhead,
+bench_health_overhead) with
 --benchmark_format=json and folds every benchmark into a flat
 {name: ns_per_op} map using cpu_time; then runs
 bench_parallel_validation (a stats::Table text report) and converts each
@@ -13,13 +14,13 @@ under scalability.*; then runs bench_header_overhead and records its
 INT_BYTES line (trailer bytes per hop with path telemetry off/on) under
 header.int_*.
 
-The output (default BENCH_PR9.json) is what CI uploads as the per-build
+The output (default BENCH_PR10.json) is what CI uploads as the per-build
 performance artifact, so the schema is deliberately trivial: one flat
 object, names stable across runs, values in nanoseconds (except the
 dimensionless scalability.batch_speedup and the byte-valued
 header.int_* entries).
 
-Usage: bench_to_json.py --bindir build/bench [--out BENCH_PR9.json]
+Usage: bench_to_json.py --bindir build/bench [--out BENCH_PR10.json]
 """
 
 import argparse
@@ -33,6 +34,7 @@ GBENCH_BINARIES = [
     "bench_fault_overhead",
     "bench_flow_overhead",
     "bench_int_overhead",
+    "bench_health_overhead",
 ]
 
 # | serial (inline) | 767300   | 1.00 | 3072 |
@@ -110,7 +112,7 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bindir", default="build/bench",
                         help="directory holding the bench binaries")
-    parser.add_argument("--out", default="BENCH_PR9.json",
+    parser.add_argument("--out", default="BENCH_PR10.json",
                         help="output JSON path")
     args = parser.parse_args()
 

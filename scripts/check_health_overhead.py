@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Gate on the health plane's data-path cost contract.
+
+Reads bench_health_overhead JSON output (--benchmark_format=json) and
+fails if enabling the health plane slows the fabric send path beyond the
+pinned bound relative to the health-free baseline:
+
+  health_enabled / no_health  <= BOUND   (default 1.25)
+
+The health plane does no per-packet work — its tick (snapshot + series
+roll + detector sweep) runs on the simulator clock, and the benchmark
+amortizes that in at 10x the production window density.  A ratio past
+the bound means per-packet cost leaked into the monitor or the tick
+grew superlinear in the metric population.
+
+Usage: check_health_overhead.py results.json [--bound 1.25]
+"""
+
+import argparse
+import json
+import sys
+
+BASELINE = "BM_FabricSendNoHealth"
+ENABLED = "BM_FabricSendHealthEnabled"
+
+
+def cpu_time(benchmarks, name):
+    for bench in benchmarks:
+        if bench["name"] == name:
+            return float(bench["cpu_time"])
+    sys.exit(f"error: benchmark {name!r} missing from results")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", help="bench_health_overhead JSON output")
+    parser.add_argument("--bound", type=float, default=1.25,
+                        help="max health-enabled / baseline ratio")
+    args = parser.parse_args()
+
+    with open(args.results, encoding="utf-8") as handle:
+        benchmarks = json.load(handle)["benchmarks"]
+
+    base = cpu_time(benchmarks, BASELINE)
+    enabled = cpu_time(benchmarks, ENABLED)
+    ratio = enabled / base
+    print(f"{BASELINE}: {base:.1f} ns")
+    print(f"{ENABLED}: {enabled:.1f} ns")
+    print(f"ratio: {ratio:.3f} (bound {args.bound})")
+    if ratio > args.bound:
+        sys.exit("FAIL: health-plane data-path overhead exceeds bound")
+    print("OK: health-plane overhead within bound")
+
+
+if __name__ == "__main__":
+    main()

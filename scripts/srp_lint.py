@@ -623,6 +623,7 @@ KNOWN_COMPONENTS = frozenset((
     "cc",      # congestion control
     "fault",   # fault-injection engine
     "flow",    # flow accounting plane
+    "health",  # health plane (monitor self-metrics)
     "host",    # end-host module
     "int",     # in-band path telemetry (obs::PathCollector)
     "port",    # per-port transmit stats
@@ -958,6 +959,7 @@ def self_test() -> int:
         ("lock-order", "lock_cycle_bad.cpp", 1),
         ("metric-names", "metric_name_bad.cpp", 2),
         ("metric-names", "metric_namespace_bad.cpp", 1),
+        ("metric-names", "metric_namespace_health.cpp", 1),
         ("state-switch-default", "state_switch_default_bad.cpp", 2),
     ]
     failures = 0

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "flow/plane.hpp"
+
 namespace srp::dir {
 
 Fabric::Fabric(sim::Simulator& sim) : sim_(sim), net_(sim) {
@@ -198,6 +200,26 @@ obs::PathCollector& Fabric::enable_path_telemetry(PathTelemetryConfig config) {
                              config.sample_period);
   }
   return *collector_;
+}
+
+health::HealthMonitor& Fabric::enable_health(health::HealthConfig config) {
+  if (observer_.registry == nullptr) {
+    throw std::logic_error(
+        "Fabric::enable_health: enable_observability with a registry first");
+  }
+  monitor_ = std::make_unique<health::HealthMonitor>(
+      sim_, *observer_.registry, config);
+  monitor_->set_recorder(observer_.recorder);
+  monitor_->set_flow_plane(dynamic_cast<flow::FlowPlane*>(observer_.flow));
+  monitor_->set_path_collector(collector_.get());
+  for (viper::ViperRouter* router : routers_) {
+    monitor_->map_router(id_of(*router), std::string(router->name()));
+    for (int p = 1; p <= router->port_count(); ++p) {
+      monitor_->watch_link(router->port(p), std::string(router->name()));
+    }
+  }
+  monitor_->start();
+  return *monitor_;
 }
 
 std::uint32_t Fabric::id_of(const net::Node& node) const {

@@ -16,6 +16,7 @@
 
 #include "congestion/controller.hpp"
 #include "congestion/throttle.hpp"
+#include "health/monitor.hpp"
 #include "directory/client.hpp"
 #include "directory/directory.hpp"
 #include "directory/topology.hpp"
@@ -110,6 +111,19 @@ class Fabric {
     return collector_.get();
   }
 
+  /// Turns on the health plane: a fabric-owned health::HealthMonitor
+  /// watching every router port built so far, reading the observer()
+  /// registry (call enable_observability first), corroborating root
+  /// causes through the path collector and flow plane when present, and
+  /// ticking once per config window.  Like enable_observability, not
+  /// retroactive for later components.
+  health::HealthMonitor& enable_health(health::HealthConfig config = {});
+
+  /// The monitor built by enable_health(); null before it.
+  [[nodiscard]] health::HealthMonitor* health_monitor() {
+    return monitor_.get();
+  }
+
   // --- failure injection (simulation + directory advisories together) ---
   void fail_link(net::PortedNode& a, net::PortedNode& b);
   void restore_link(net::PortedNode& a, net::PortedNode& b);
@@ -188,6 +202,7 @@ class Fabric {
   std::uint16_t next_mac_index_ = 1;
   obs::Observer observer_;  ///< last enable_observability() argument
   std::unique_ptr<obs::PathCollector> collector_;  ///< enable_path_telemetry
+  std::unique_ptr<health::HealthMonitor> monitor_;  ///< enable_health
 };
 
 }  // namespace srp::dir

@@ -1,0 +1,101 @@
+#include "health/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/contract.hpp"
+#include "health/series.hpp"
+
+namespace srp::health {
+
+std::string_view to_string(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kThreshold: return "threshold";
+    case DetectorKind::kEwma: return "ewma";
+    case DetectorKind::kBurnRate: return "burn_rate";
+  }
+  return "?";
+}
+
+ThresholdDetector::ThresholdDetector(ThresholdConfig config)
+    : config_(config) {
+  SIRPENT_EXPECTS(config_.clear_limit <= config_.limit);
+}
+
+Verdict ThresholdDetector::evaluate(double value) {
+  if (breached_) {
+    if (value <= config_.clear_limit) breached_ = false;
+  } else {
+    if (value >= config_.limit) breached_ = true;
+  }
+  return {breached_, value, value};
+}
+
+EwmaDetector::EwmaDetector(EwmaConfig config) : config_(config) {
+  SIRPENT_EXPECTS(config_.alpha > 0.0 && config_.alpha <= 1.0);
+  SIRPENT_EXPECTS(config_.clear_sigmas <= config_.sigmas);
+  SIRPENT_EXPECTS(config_.min_sigma > 0.0);
+}
+
+double EwmaDetector::sigma() const {
+  return std::max(std::sqrt(variance_), config_.min_sigma);
+}
+
+Verdict EwmaDetector::evaluate(double value) {
+  if (seen_ < config_.warmup) {
+    // Cold start: seed the baseline without scoring.  The first sample
+    // initialises the mean outright so warmup does not drag it up from 0.
+    if (seen_ == 0) {
+      mean_ = value;
+    } else {
+      mean_ += config_.alpha * (value - mean_);
+      variance_ += config_.alpha * ((value - mean_) * (value - mean_) -
+                                    variance_);
+    }
+    ++seen_;
+    return {false, value, 0.0};
+  }
+
+  const double deviation = value - mean_;
+  const double z = deviation / sigma();
+  const double magnitude = config_.one_sided ? z : std::abs(z);
+
+  if (breached_) {
+    if (magnitude <= config_.clear_sigmas) breached_ = false;
+  } else {
+    breached_ = magnitude >= config_.sigmas &&
+                std::abs(deviation) >= config_.min_deviation;
+  }
+
+  // Fold the sample into the baseline only while healthy: a sustained
+  // fault must stay anomalous instead of becoming the new normal.
+  if (!breached_) {
+    const double err = value - mean_;
+    mean_ += config_.alpha * err;
+    variance_ += config_.alpha * (err * err - variance_);
+    ++seen_;
+  }
+  return {breached_, value, magnitude};
+}
+
+BurnRateDetector::BurnRateDetector(BurnRateConfig config) : config_(config) {
+  SIRPENT_EXPECTS(config_.objective > 0);
+  SIRPENT_EXPECTS(config_.error_budget > 0.0);
+  SIRPENT_EXPECTS(config_.clear_burn <= config_.burn_limit);
+}
+
+Verdict BurnRateDetector::evaluate(const stats::HistogramSnapshot& window) {
+  if (window.count < config_.min_samples) {
+    return {breached_, 0.0, 0.0};
+  }
+  const double over = fraction_above(window, config_.objective);
+  const double burn = over / config_.error_budget;
+  if (breached_) {
+    if (burn <= config_.clear_burn) breached_ = false;
+  } else {
+    if (burn >= config_.burn_limit) breached_ = true;
+  }
+  return {breached_, over, burn};
+}
+
+}  // namespace srp::health

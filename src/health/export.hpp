@@ -1,0 +1,23 @@
+// Health-plane exports: Prometheus ALERTS-style series and an alerts JSON
+// document (lifecycle history plus root-cause hints) for offline scoring.
+#pragma once
+
+#include <string>
+
+#include "health/alerts.hpp"
+#include "health/monitor.hpp"
+
+namespace srp::health {
+
+/// Prometheus convention: one `ALERTS{alertname=...,alertstate=...} 1`
+/// sample per currently pending/firing alert, plus an `ALERTS_FOR_STATE`
+/// sample carrying the pending-since time (seconds).  Label-sorted for
+/// byte-stable output across reruns.
+[[nodiscard]] std::string to_prometheus_alerts(const AlertEngine& engine);
+
+/// Every rule cell that left kInactive, with its labels, episode times,
+/// full transition log and — when scored through @p monitor — the
+/// root-cause diagnosis.  Deterministic ordering and formatting.
+[[nodiscard]] std::string to_alerts_json(const HealthMonitor& monitor);
+
+}  // namespace srp::health

@@ -1,0 +1,200 @@
+// HealthMonitor: the health plane's tick loop and rule book.
+//
+// One monitor owns a SeriesStore, an AlertEngine and a set of link probes.
+// Every `window` of sim time it:
+//
+//  1. Reads each watched TxPort's Stats struct (plain struct reads — the
+//     per-packet data path is untouched) and mirrors them into registry
+//     counters, including the one number no counter reports directly:
+//     *unexplained wire loss*.  A healthy port satisfies the conservation
+//     identity
+//
+//        enqueued = sent + preempt_aborts + dropped_down + dropped_full
+//                 + dropped_blocked + deflected + outstanding
+//
+//     (outstanding = still queued or on the wire), so per window
+//
+//        wire_loss = Δenqueued − Δexplained − Δoutstanding
+//
+//     is exactly the packets that vanished without a device-side excuse —
+//     injected loss — computed purely from honest device counters.  The
+//     monitor never reads dropped_injected or any `fault.*` metric; the
+//     fault engine's own books are ground truth for scoring, not input.
+//
+//  2. Rolls the registry snapshot into the SeriesStore (windowed deltas).
+//
+//  3. Auto-instantiates rules from the built-in template table the first
+//     time a matching metric appears (a fabric's metric population is not
+//     known until traffic flows), then evaluates every rule and folds the
+//     verdicts through the AlertEngine's pending→firing→resolved
+//     lifecycle.  Transitions emit kAlert instants into the flight
+//     recorder and bump `health.monitor.*` self-metrics.
+//
+// diagnose() turns a fired alert into a RootCause: the suspect device and
+// port from the rule labels, corroborated — when the fabric wired them in —
+// by obs::PathCollector drop localization and the suspect's heaviest flow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "health/alerts.hpp"
+#include "health/detector.hpp"
+#include "health/series.hpp"
+#include "net/port.hpp"
+#include "sim/simulator.hpp"
+#include "stats/registry.hpp"
+
+namespace srp::flow {
+class FlowPlane;
+}  // namespace srp::flow
+namespace srp::obs {
+class FlightRecorder;
+class PathCollector;
+}  // namespace srp::obs
+
+namespace srp::health {
+
+struct HealthConfig {
+  SeriesConfig series;  ///< window length + retained depth
+  AlertPolicy policy;   ///< for-duration / clear debounce
+
+  /// Delivery-latency SLO, applied to every `host.*.e2e_latency_ps`
+  /// histogram: at most `slo_error_budget` of deliveries may exceed the
+  /// objective; the SloBurnRate alert fires when the budget burns at
+  /// `slo_burn_limit`x or faster.
+  std::uint64_t slo_objective_ps = 5 * sim::kMillisecond;
+  double slo_error_budget = 0.01;
+  double slo_burn_limit = 10.0;
+  double slo_clear_burn = 1.0;
+  std::uint64_t slo_min_samples = 8;
+
+  /// Baseline-deviation templates: latency_ewma scores windowed p99s
+  /// (queue wait, RTT); rate_ewma scores windowed counter rates (token
+  /// misses, retransmits).  min_deviation floors are in histogram units
+  /// (picoseconds) and events/window respectively.
+  EwmaConfig latency_ewma{.alpha = 0.3,
+                          .sigmas = 4.0,
+                          .clear_sigmas = 2.0,
+                          .min_deviation = 50.0 * sim::kMicrosecond,
+                          .min_sigma = 10.0 * sim::kMicrosecond,
+                          .warmup = 3,
+                          .one_sided = true};
+  EwmaConfig rate_ewma{.alpha = 0.3,
+                       .sigmas = 4.0,
+                       .clear_sigmas = 2.0,
+                       .min_deviation = 8.0,
+                       .min_sigma = 2.0,
+                       .warmup = 3,
+                       .one_sided = true};
+
+  /// Wire-loss / reject thresholds, in events per window.
+  double loss_limit = 1.0;
+  double reject_limit = 1.0;
+
+  bool emit_spans = true;  ///< kAlert instants on every transition
+};
+
+/// Localized explanation of a fired alert.
+struct RootCause {
+  std::string router;    ///< suspect device ("" when not localizable)
+  std::string port;      ///< suspect port name, e.g. "r2:p1" ("" unknown)
+  std::string reason;    ///< one-line diagnosis
+  std::string evidence;  ///< corroborating observations, "; "-joined
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(sim::Simulator& sim, stats::Registry& registry,
+                HealthConfig config = {});
+
+  // --- optional corroboration sinks (null = feature off) ---
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+  void set_flow_plane(const flow::FlowPlane* plane) { flow_ = plane; }
+  void set_path_collector(const obs::PathCollector* collector) {
+    collector_ = collector;
+  }
+  /// Teaches diagnose() the VIPER id -> device-name mapping used by
+  /// PathCollector drop localization.
+  void map_router(std::uint32_t id, std::string name);
+
+  /// Registers a link probe.  @p owner is the device the port belongs to
+  /// ("r2"); alerts on this port's series carry it as their component.
+  void watch_link(net::TxPort& port, std::string owner);
+
+  /// Begins the periodic window tick (one sim event per window).
+  void start();
+
+  /// Closes one window now: probe mirrors, series roll, rule evaluation.
+  /// start() calls this on its schedule; tests may drive it manually.
+  void tick();
+
+  [[nodiscard]] const HealthConfig& config() const { return config_; }
+  [[nodiscard]] const SeriesStore& series() const { return series_; }
+  [[nodiscard]] const AlertEngine& engine() const { return engine_; }
+  [[nodiscard]] std::size_t probes() const { return probes_.size(); }
+
+  /// Root-cause hint for @p alert (normally one that fired).
+  [[nodiscard]] RootCause diagnose(const Alert& alert) const;
+
+ private:
+  /// How a rule reads its windowed value from the SeriesStore.
+  enum class Reading : std::uint8_t {
+    kCounterRate,    // counter delta per window
+    kGaugeInverted,  // 1 - gauge level (for link_up-style booleans)
+    kHistogramP99,   // windowed p99; empty windows are skipped
+    kHistogramBurn,  // whole windowed histogram -> BurnRateDetector
+  };
+
+  struct Rule {
+    std::string metric;
+    Reading reading;
+    std::size_t handle = 0;  // AlertEngine rule index
+    std::variant<ThresholdDetector, EwmaDetector, BurnRateDetector> detector;
+  };
+
+  void publish_probe_mirrors();
+  void instantiate_rules(const stats::MetricsSnapshot& snap);
+  void evaluate_rules();
+  void on_transition(const Alert& alert);
+  /// Owner device of a metric instance ("r2_p1" -> "r2" via probes,
+  /// else the instance segment itself).
+  [[nodiscard]] std::string owner_of(const std::string& metric) const;
+
+  struct LinkProbe {
+    net::TxPort* port = nullptr;
+    std::string owner;
+    std::string instance;  // metric_component(port->name())
+    net::TxPort::Stats prev{};
+    std::uint64_t prev_outstanding = 0;
+    std::uint64_t wire_loss_total = 0;
+  };
+
+  sim::Simulator& sim_;
+  stats::Registry& registry_;
+  HealthConfig config_;
+  SeriesStore series_;
+  AlertEngine engine_;
+  std::vector<LinkProbe> probes_;
+  std::vector<Rule> rules_;
+  std::map<std::string, bool> ruled_metrics_;  // metric -> rules created
+  std::map<std::string, std::string> instance_owner_;  // "r2_p1" -> "r2"
+  std::map<std::string, std::string> instance_port_;   // "r2_p1" -> "r2:p1"
+  std::map<std::uint32_t, std::string> router_names_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  const flow::FlowPlane* flow_ = nullptr;
+  const obs::PathCollector* collector_ = nullptr;
+  bool started_ = false;
+
+  // Self metrics.
+  stats::Counter* windows_counter_ = nullptr;
+  stats::Counter* transitions_counter_ = nullptr;
+  stats::Gauge* rules_gauge_ = nullptr;
+  stats::Gauge* firing_gauge_ = nullptr;
+};
+
+}  // namespace srp::health

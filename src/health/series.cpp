@@ -1,0 +1,102 @@
+#include "health/series.hpp"
+
+#include "check/contract.hpp"
+
+namespace srp::health {
+
+double fraction_above(const stats::HistogramSnapshot& window,
+                      std::uint64_t threshold) {
+  if (window.count == 0) return 0.0;
+  std::uint64_t above = 0;
+  double partial = 0.0;
+  for (std::size_t i = 0; i < window.kBuckets; ++i) {
+    if (window.buckets[i] == 0) continue;
+    const auto low = stats::Histogram::bucket_low(i);
+    const auto high = stats::Histogram::bucket_high(i);
+    if (low > threshold) {
+      above += window.buckets[i];
+    } else if (high > threshold) {
+      // Straddling bucket: pro-rata share of samples above the threshold
+      // under the within-bucket uniform assumption.
+      const double width = static_cast<double>(high - low) + 1.0;
+      const double over = static_cast<double>(high - threshold);
+      partial += static_cast<double>(window.buckets[i]) * over / width;
+    }
+  }
+  return (static_cast<double>(above) + partial) /
+         static_cast<double>(window.count);
+}
+
+SeriesStore::SeriesStore(SeriesConfig config) : config_(config) {
+  SIRPENT_EXPECTS(config_.window > 0);
+  SIRPENT_EXPECTS(config_.capacity > 0);
+}
+
+void SeriesStore::roll(sim::Time now, const stats::MetricsSnapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    auto& series = counters_[name];
+    const auto delta = value >= series.previous ? value - series.previous : 0;
+    series.previous = value;
+    series.deltas.push(static_cast<double>(delta), config_.capacity);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    gauges_[name].levels.push(static_cast<double>(value), config_.capacity);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    auto& series = histograms_[name];
+    stats::HistogramSnapshot window;
+    for (std::size_t i = 0; i < hist.kBuckets; ++i) {
+      const auto prev = series.previous.buckets[i];
+      window.buckets[i] = hist.buckets[i] >= prev ? hist.buckets[i] - prev : 0;
+    }
+    window.count =
+        hist.count >= series.previous.count ? hist.count - series.previous.count
+                                            : 0;
+    window.sum =
+        hist.sum >= series.previous.sum ? hist.sum - series.previous.sum : 0;
+    series.previous = hist;
+    series.windows.push(window, config_.capacity);
+  }
+  ++windows_;
+  last_roll_ = now;
+}
+
+std::optional<double> SeriesStore::counter_rate(const std::string& name,
+                                                std::size_t ago) const {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return std::nullopt;
+  const double* v = it->second.deltas.at(ago);
+  if (v == nullptr) return std::nullopt;
+  return *v;
+}
+
+std::optional<double> SeriesStore::gauge_level(const std::string& name,
+                                               std::size_t ago) const {
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  const double* v = it->second.levels.at(ago);
+  if (v == nullptr) return std::nullopt;
+  return *v;
+}
+
+const stats::HistogramSnapshot* SeriesStore::histogram_window(
+    const std::string& name, std::size_t ago) const {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return nullptr;
+  return it->second.windows.at(ago);
+}
+
+std::size_t SeriesStore::depth(const std::string& name) const {
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    return it->second.deltas.values.size();
+  }
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second.levels.values.size();
+  }
+  if (const auto it = histograms_.find(name); it != histograms_.end()) {
+    return it->second.windows.values.size();
+  }
+  return 0;
+}
+
+}  // namespace srp::health

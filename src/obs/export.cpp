@@ -63,6 +63,7 @@ std::string_view span_category(SpanKind kind) {
     case SpanKind::kTxn: return "vmtp";
     case SpanKind::kSample: return "flow";
     case SpanKind::kIntHop: return "int";
+    case SpanKind::kAlert: return "health";
   }
   return "?";
 }
@@ -159,7 +160,8 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
                json_escape(span.component_view()).c_str());
     append_fmt(out, "\"cat\":\"%s\",",
                std::string(span_category(span.kind)).c_str());
-    if (span.kind == SpanKind::kThrottle || span.kind == SpanKind::kSample) {
+    if (span.kind == SpanKind::kThrottle || span.kind == SpanKind::kSample ||
+        span.kind == SpanKind::kAlert) {
       append_fmt(out, "\"ph\":\"i\",\"s\":\"t\",\"ts\":%.6f,", ts);
     } else {
       const double dur =

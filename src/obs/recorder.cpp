@@ -16,6 +16,7 @@ std::string_view to_string(SpanKind kind) {
     case SpanKind::kTxn: return "txn";
     case SpanKind::kSample: return "sample";
     case SpanKind::kIntHop: return "int_hop";
+    case SpanKind::kAlert: return "alert";
   }
   return "?";
 }

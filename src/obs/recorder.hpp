@@ -41,6 +41,7 @@ enum class SpanKind : std::uint8_t {
   kSample,    // flow sampler captured this packet (instant, with excerpt)
   kIntHop,    // in-band telemetry hop, reconstructed at the sink from the
               // packet's trailer (obs::PathCollector)
+  kAlert,     // health-plane alert transition (instant; src/health)
 };
 
 /// How the router's token admission resolved for this hop.

@@ -61,8 +61,25 @@ std::uint64_t HistogramSnapshot::percentile(double q) const {
   if (rank > count) rank = count;
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      // Interpolate within bucket i at the unbiased plotting position:
+      // the p-th of the bucket's c samples sits at quantile (2p-1)/(2c)
+      // of [low, high] under a within-bucket uniform assumption.  The
+      // estimate stays inside the bucket by construction, so the worst
+      // case error is one bucket width (an octave) — same hard bound as
+      // the old upper-bound rule, without its systematic 2x overshoot.
+      const std::uint64_t low = Histogram::bucket_low(i);
+      const std::uint64_t high = Histogram::bucket_high(i);
+      const double p = static_cast<double>(rank - cumulative);
+      const double c = static_cast<double>(buckets[i]);
+      const double width = static_cast<double>(high - low);
+      const double offset = width * (2.0 * p - 1.0) / (2.0 * c);
+      const auto value =
+          low + static_cast<std::uint64_t>(std::llround(offset));
+      return std::min(value, high);
+    }
     cumulative += buckets[i];
-    if (cumulative >= rank) return Histogram::bucket_high(i);
   }
   return Histogram::bucket_high(kBuckets - 1);
 }

@@ -1,0 +1,34 @@
+// srp-lint fixture: the health plane exports its self-metrics under the
+// `health.*` component namespace; a near-miss spelling must be flagged
+// against KNOWN_COMPONENTS while the real names pass.  Never compiled.
+#include <string>
+
+namespace fixture {
+
+struct Counter {
+  void add() {}
+};
+
+struct Gauge {
+  void set() {}
+};
+
+struct Registry {
+  Counter& counter(const std::string&) { return c_; }
+  Gauge& gauge(const std::string&) { return g_; }
+  Counter c_;
+  Gauge g_;
+};
+
+inline void register_metrics(Registry& registry) {
+  // 1. `healthz` is not a known component namespace (the health plane
+  // exports under `health.*`).
+  registry.counter("healthz.monitor.windows").add();
+
+  // Valid health-plane names, for contrast: these must NOT be flagged.
+  registry.counter("health.monitor.windows").add();
+  registry.counter("health.monitor.transitions").add();
+  registry.gauge("health.monitor.alerts_firing").set();
+}
+
+}  // namespace fixture

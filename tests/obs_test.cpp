@@ -101,13 +101,16 @@ TEST(LogHistogram, CountSumMean) {
   EXPECT_DOUBLE_EQ(h.snapshot().mean(), 10.0);
 }
 
-TEST(LogHistogram, PercentileIsBucketUpperBound) {
+TEST(LogHistogram, PercentileInterpolatesWithinBucket) {
   stats::Histogram h;
   for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
-  // Ranks 32..63 fall in bucket 6 ([32, 63]); rank 50 = p50.
-  EXPECT_EQ(h.p50(), 63u);
-  // Rank 99 falls in bucket 7 ([64, 127]).
-  EXPECT_EQ(h.p99(), 127u);
+  // Rank 50 is the 19th of bucket 6's ([32, 63]) 32 samples; the unbiased
+  // plotting position lands on the true value exactly for this uniform
+  // fill.  (The old upper-bound rule answered 63 — a 26% overshoot.)
+  EXPECT_EQ(h.p50(), 50u);
+  // Rank 99 in bucket 7 ([64, 127]): 64 + 63*71/74 rounds to 124 — within
+  // one octave of the true 99, instead of the old answer of 127.
+  EXPECT_EQ(h.p99(), 124u);
 }
 
 TEST(LogHistogram, PercentileEdgeCases) {
@@ -118,9 +121,11 @@ TEST(LogHistogram, PercentileEdgeCases) {
   stats::Histogram single;
   single.record(5);
   const auto snap = single.snapshot();
-  EXPECT_EQ(snap.percentile(0.0), 7u);   // rank clamps to the first sample
-  EXPECT_EQ(snap.percentile(1.0), 7u);
-  EXPECT_EQ(snap.p50(), 7u);             // bucket [4, 7] upper bound
+  // One sample in [4, 7] interpolates to the bucket midpoint 4 + 3/2 -> 6;
+  // every quantile of a single sample answers the same.
+  EXPECT_EQ(snap.percentile(0.0), 6u);   // rank clamps to the first sample
+  EXPECT_EQ(snap.percentile(1.0), 6u);
+  EXPECT_EQ(snap.p50(), 6u);
 }
 
 TEST(GaugeSemantics, MovesBothWays) {

@@ -19,6 +19,11 @@
 
 #include "directory/fabric.hpp"
 #include "fault/engine.hpp"
+#include "flow/plane.hpp"
+#include "health/export.hpp"
+#include "health/monitor.hpp"
+#include "obs/recorder.hpp"
+#include "stats/registry.hpp"
 #include "test_util.hpp"
 #include "transport/vmtp.hpp"
 
@@ -197,6 +202,94 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SoakSuite, ::testing::ValuesIn(soak_seeds()));
 TEST(SoakReplay, FirstSeedReplaysByteIdentically) {
   const std::uint64_t seed = env_u64("SOAK_SEED_BASE", 1);
   test::expect_deterministic([seed] { return run_soak(seed); });
+}
+
+struct HealthSoakOutcome {
+  int issued = 0;
+  int ok = 0;
+  std::uint64_t windows = 0;
+  std::size_t firing = 0;
+  std::size_t fired_total = 0;
+  std::string alerts_json;
+
+  bool operator==(const HealthSoakOutcome&) const = default;
+};
+
+/// Fault-free health soak: a seed-shaped random internetwork with the
+/// health plane live but NO fault engine attached.  Over a run long
+/// enough for hundreds of detector windows, the alert engine must stay
+/// completely silent — probabilistic detectors earning false positives
+/// from ordinary queueing noise would show up here first.
+HealthSoakOutcome run_health_soak(std::uint64_t seed) {
+  constexpr sim::Time kTrafficEnd = 800 * sim::kMillisecond;
+  constexpr sim::Time kDrainEnd = 1 * sim::kSecond;
+
+  stats::Registry registry;
+  obs::FlightRecorder recorder;
+  flow::FlowPlane flow_plane({}, &registry, &recorder);
+  test::RandomNet net(seed, 4 + static_cast<int>(seed % 4));
+  sim::Simulator& sim = net.sim;
+  net.fabric.enable_observability(
+      obs::Observer{&registry, &recorder, &flow_plane});
+  health::HealthConfig config;
+  config.series.window = 10 * sim::kMillisecond;
+  auto& monitor = net.fabric.enable_health(config);
+
+  vmtp::VmtpConfig vconfig;
+  vconfig.max_retries = 6;
+  auto client = std::make_unique<vmtp::VmtpEndpoint>(
+      sim, *net.hosts.front(), 0xC0, vconfig);
+  auto server = std::make_unique<vmtp::VmtpEndpoint>(
+      sim, *net.hosts.back(), 0x50, vconfig);
+  server->serve([](std::span<const std::uint8_t> req,
+                   const viper::Delivery&) {
+    return wire::Bytes(req.begin(), req.end());
+  });
+  dir::QueryOptions q;
+  q.dest_endpoint = 0x50;
+  const auto routes = net.fabric.directory().query(
+      net.fabric.id_of(*net.hosts.front()),
+      std::string(net.hosts.back()->name()), q);
+  EXPECT_FALSE(routes.empty()) << "seed " << seed;
+  if (routes.empty()) return {};
+
+  HealthSoakOutcome outcome;
+  sim::Rng traffic_rng(seed * 3571 + 7);
+  test::drive(sim, 1, kTrafficEnd, [&]() -> sim::Time {
+    const wire::Bytes request = pattern_bytes(
+        64 + traffic_rng.uniform_int(0, 1200),
+        static_cast<std::uint8_t>(outcome.issued));
+    ++outcome.issued;
+    client->invoke(routes.front(), 0x50, request,
+                   [&outcome](vmtp::Result r) {
+                     if (r.ok) ++outcome.ok;
+                   });
+    return static_cast<sim::Time>(
+        200 * sim::kMicrosecond +
+        traffic_rng.uniform_int(0, 400 * sim::kMicrosecond));
+  });
+  sim.run_until(kDrainEnd);
+
+  outcome.windows = monitor.series().windows();
+  outcome.firing = monitor.engine().firing().size();
+  outcome.fired_total = monitor.engine().fired().size();
+  outcome.alerts_json = health::to_alerts_json(monitor);
+  return outcome;
+}
+
+TEST_P(SoakSuite, FaultFreeHealthPlaneStaysSilent) {
+  const HealthSoakOutcome outcome = run_health_soak(GetParam());
+  EXPECT_GT(outcome.issued, 1000);
+  EXPECT_GT(outcome.ok, outcome.issued * 9 / 10);
+  // The monitor really ran (~100 windows) and never raised anything.
+  EXPECT_GE(outcome.windows, 90u);
+  EXPECT_EQ(outcome.firing, 0u);
+  EXPECT_EQ(outcome.fired_total, 0u);
+}
+
+TEST(SoakReplay, HealthSoakReplaysByteIdentically) {
+  const std::uint64_t seed = env_u64("SOAK_SEED_BASE", 1);
+  test::expect_deterministic([seed] { return run_health_soak(seed); });
 }
 
 }  // namespace
